@@ -1,0 +1,78 @@
+// Ablation (ours): simulator throughput (simulated cycles per second) as
+// the system grows — establishes that the cycle-accurate substrate is
+// fast enough for the collection/validation loops the flow runs.
+// google-benchmark binary.
+#include <benchmark/benchmark.h>
+
+#include "workloads/synthetic.h"
+#include "xbar/flow.h"
+
+namespace {
+
+using namespace stx;
+
+void BM_SimulateSynthetic(benchmark::State& state) {
+  workloads::synthetic_params params;
+  params.num_cores = static_cast<int>(state.range(0));
+  const auto app = workloads::make_synthetic(params);
+  const traffic::cycle_t horizon = 50'000;
+  for (auto _ : state) {
+    sim::system_config cfg;
+    cfg.request = sim::crossbar_config::full(app.num_targets);
+    cfg.response = sim::crossbar_config::full(app.num_initiators);
+    cfg.record_traces = false;
+    cfg.keep_latency_samples = false;
+    auto system = sim::mpsoc_system(app.programs, app.num_targets, cfg,
+                                    app.loop_starts);
+    system.run(horizon);
+    benchmark::DoNotOptimize(system.total_transactions());
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(horizon) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateSynthetic)
+    ->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulateSharedBusCongested(benchmark::State& state) {
+  workloads::synthetic_params params;
+  params.num_cores = static_cast<int>(state.range(0));
+  const auto app = workloads::make_synthetic(params);
+  const traffic::cycle_t horizon = 50'000;
+  for (auto _ : state) {
+    sim::system_config cfg;
+    cfg.request = sim::crossbar_config::shared(app.num_targets);
+    cfg.response = sim::crossbar_config::shared(app.num_initiators);
+    cfg.record_traces = false;
+    cfg.keep_latency_samples = false;
+    auto system = sim::mpsoc_system(app.programs, app.num_targets, cfg,
+                                    app.loop_starts);
+    system.run(horizon);
+    benchmark::DoNotOptimize(system.total_transactions());
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(horizon) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateSharedBusCongested)
+    ->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WindowAnalysis(benchmark::State& state) {
+  workloads::synthetic_params params;
+  const auto app = workloads::make_synthetic(params);
+  xbar::flow_options fopts;
+  fopts.horizon = 150'000;
+  const auto traces = xbar::collect_traces(app, fopts);
+  const auto ws = state.range(0);
+  for (auto _ : state) {
+    traffic::window_analysis wa(traces.request, ws);
+    benchmark::DoNotOptimize(wa.total_overlap(0, 1));
+  }
+}
+BENCHMARK(BM_WindowAnalysis)
+    ->Arg(200)->Arg(2000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,96 @@
+// Ablation (ours): runtime of the two exact engines on the same model —
+// the specialised branch & bound versus the paper-faithful MILP through
+// the generic simplex B&B (the CPLEX stand-in). Both return identical
+// answers (see tests/xbar/solver_equivalence_test.cpp); this measures the
+// cost of generality. google-benchmark binary.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "util/random.h"
+#include "xbar/bb_solver.h"
+#include "xbar/milp_formulation.h"
+
+namespace {
+
+using namespace stx;
+
+xbar::synthesis_input random_instance(int targets, int windows,
+                                      std::uint64_t seed) {
+  rng r(seed);
+  xbar::design_params p;
+  p.window_size = 100;
+  p.max_targets_per_bus = 4;
+  std::vector<std::vector<xbar::cycle_t>> comm(
+      static_cast<std::size_t>(targets),
+      std::vector<xbar::cycle_t>(static_cast<std::size_t>(windows), 0));
+  for (auto& row : comm) {
+    for (auto& c : row) c = r.uniform_int(0, 60);
+  }
+  std::vector<std::vector<xbar::cycle_t>> om(
+      static_cast<std::size_t>(targets),
+      std::vector<xbar::cycle_t>(static_cast<std::size_t>(targets), 0));
+  std::vector<std::vector<bool>> conf(
+      static_cast<std::size_t>(targets),
+      std::vector<bool>(static_cast<std::size_t>(targets), false));
+  for (int i = 0; i < targets; ++i) {
+    for (int j = i + 1; j < targets; ++j) {
+      const auto si = static_cast<std::size_t>(i);
+      const auto sj = static_cast<std::size_t>(j);
+      om[si][sj] = om[sj][si] = r.uniform_int(0, 40);
+      conf[si][sj] = conf[sj][si] = r.chance(0.1);
+    }
+  }
+  return xbar::synthesis_input(std::move(comm), std::move(om),
+                               std::move(conf), 100, p);
+}
+
+void BM_SpecializedFeasibility(benchmark::State& state) {
+  const int targets = static_cast<int>(state.range(0));
+  const auto in = random_instance(targets, 4, 42);
+  const int buses = std::max(2, targets / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xbar::find_feasible_binding(in, buses));
+  }
+}
+BENCHMARK(BM_SpecializedFeasibility)
+    ->Arg(6)->Arg(10)->Arg(16)->Arg(24)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GenericMilpFeasibility(benchmark::State& state) {
+  const int targets = static_cast<int>(state.range(0));
+  const auto in = random_instance(targets, 4, 42);
+  const int buses = std::max(2, targets / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xbar::solve_feasibility_milp(in, buses));
+  }
+}
+BENCHMARK(BM_GenericMilpFeasibility)
+    ->Arg(6)->Arg(8)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SpecializedOptimalBinding(benchmark::State& state) {
+  const int targets = static_cast<int>(state.range(0));
+  const auto in = random_instance(targets, 4, 7);
+  const int buses = std::max(2, targets / 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xbar::find_min_overlap_binding(in, buses));
+  }
+}
+BENCHMARK(BM_SpecializedOptimalBinding)
+    ->Arg(6)->Arg(10)->Arg(14)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GenericMilpOptimalBinding(benchmark::State& state) {
+  const int targets = static_cast<int>(state.range(0));
+  const auto in = random_instance(targets, 2, 7);
+  const int buses = std::max(2, targets / 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xbar::solve_binding_milp(in, buses));
+  }
+}
+BENCHMARK(BM_GenericMilpOptimalBinding)
+    ->Arg(5)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

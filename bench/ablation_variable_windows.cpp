@@ -1,0 +1,79 @@
+// Ablation (paper's future work, Sec. 8): uniform versus burst-adaptive
+// variable analysis windows at a comparable window count. Variable
+// windows concentrate analysis resolution in dense phases, which buys a
+// tighter design (or better latency at equal size) on phase-structured
+// traffic.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "traffic/variable_windows.h"
+#include "traffic/windows.h"
+#include "util/table.h"
+#include "workloads/mpsoc_apps.h"
+#include "xbar/flow.h"
+
+int main() {
+  using namespace stx;
+  bench::print_header(
+      "Ablation — uniform vs burst-adaptive variable windows",
+      "future work of the paper (Sec. 8); five MPSoC apps");
+
+  auto opts = bench::default_flow();
+  table t({"Application", "uniform buses", "uniform avg lat",
+           "variable buses", "variable avg lat", "variable windows"});
+
+  for (const auto& app : workloads::all_mpsoc_apps()) {
+    const auto traces = xbar::collect_traces(app, opts);
+
+    // Uniform design at the default window size.
+    const auto uni_req = xbar::synthesize_from_trace(traces.request,
+                                                     opts.synth);
+    const auto uni_resp = xbar::synthesize_from_trace(traces.response,
+                                                      opts.synth);
+    const auto uni = xbar::validate_configuration(
+        app, uni_req.to_config(opts.policy, opts.transfer_overhead),
+        uni_resp.to_config(opts.policy, opts.transfer_overhead), opts);
+
+    // Burst-adaptive partition with roughly the same number of windows:
+    // equal-work windows sized to the average busy mass per uniform
+    // window, clamped to [WS/4, 4*WS].
+    auto design_variable = [&](const traffic::trace& tr) {
+      const auto busy = tr.total_busy_per_target();
+      traffic::cycle_t total = 0;
+      for (const auto b : busy) total += b;
+      const auto n_windows =
+          std::max<traffic::cycle_t>(1, tr.horizon() /
+                                            opts.synth.params.window_size);
+      const auto per_window = std::max<traffic::cycle_t>(1, total / n_windows);
+      const auto part = traffic::window_partition::burst_adaptive(
+          tr, per_window, opts.synth.params.window_size / 4,
+          opts.synth.params.window_size * 4);
+      const traffic::variable_window_analysis vwa(tr, part);
+      const xbar::synthesis_input input(vwa, opts.synth.params);
+      return std::make_pair(xbar::synthesize(input, opts.synth),
+                            part.num_windows());
+    };
+    const auto [var_req, req_windows] = design_variable(traces.request);
+    const auto [var_resp, resp_windows] = design_variable(traces.response);
+    const auto var = xbar::validate_configuration(
+        app, var_req.to_config(opts.policy, opts.transfer_overhead),
+        var_resp.to_config(opts.policy, opts.transfer_overhead), opts);
+
+    t.cell(app.name)
+        .cell(uni_req.num_buses + uni_resp.num_buses)
+        .cell(uni.avg_latency, 2)
+        .cell(var_req.num_buses + var_resp.num_buses)
+        .cell(var.avg_latency, 2)
+        .cell(std::to_string(req_windows) + "+" +
+              std::to_string(resp_windows))
+        .end_row();
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\nreading: equal-work windows put analysis resolution where the\n"
+      "traffic is; on phase-structured apps (QSort, DES) they buy lower\n"
+      "validated latency at the cost of extra buses — the conservative,\n"
+      "QoS-oriented end of the design spectrum the paper's future work\n"
+      "points at.\n");
+  return 0;
+}

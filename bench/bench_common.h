@@ -1,0 +1,49 @@
+// Shared defaults for the table/figure reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/table.h"
+#include "workloads/mpsoc_apps.h"
+#include "xbar/flow.h"
+
+namespace stx::bench {
+
+/// Default flow settings used by every paper-reproduction bench: one
+/// uniform window size (~2-4x the apps' characteristic burst length),
+/// 30% overlap threshold, maxtb 4, 120k-cycle simulations.
+inline xbar::flow_options default_flow() {
+  xbar::flow_options opts;
+  opts.horizon = 120'000;
+  opts.synth.params.window_size = 400;
+  opts.synth.params.overlap_threshold = 0.30;
+  opts.synth.params.max_targets_per_bus = 4;
+  return opts;
+}
+
+/// Prints the standard bench header: what artefact is being reproduced
+/// and which knobs are in force.
+inline void print_header(const std::string& artefact,
+                         const std::string& note) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", artefact.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Shared-bus configurations for a given app (one bus per direction).
+inline sim::crossbar_config shared_request(const workloads::app_spec& app) {
+  return sim::crossbar_config::shared(app.num_targets);
+}
+inline sim::crossbar_config shared_response(const workloads::app_spec& app) {
+  return sim::crossbar_config::shared(app.num_initiators);
+}
+inline sim::crossbar_config full_request(const workloads::app_spec& app) {
+  return sim::crossbar_config::full(app.num_targets);
+}
+inline sim::crossbar_config full_response(const workloads::app_spec& app) {
+  return sim::crossbar_config::full(app.num_initiators);
+}
+
+}  // namespace stx::bench

@@ -1,0 +1,67 @@
+// Reproduces Table 1: "Crossbar Performance and Cost".
+//
+// The paper simulates the 21-core matrix-multiplication MPSoC (Mat2) on
+// three STbus instantiations — a single shared bus, a full crossbar and
+// the designed partial crossbar — and reports average/maximum packet
+// latency plus crossbar size (components, normalised to the shared bus).
+//
+// Paper reference values:   shared 35.1 / 51 / 1
+//                           full    6.0 /  9 / 10.5
+//                           partial 9.9 / 20 / 4
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/table.h"
+#include "workloads/mpsoc_apps.h"
+#include "xbar/flow.h"
+
+int main() {
+  using namespace stx;
+  bench::print_header(
+      "Table 1 — Crossbar Performance and Cost (Mat2, 21 cores)",
+      "latencies in cycles; size = total buses normalised to shared (2)");
+
+  const auto app = workloads::make_mat2();
+  const auto opts = bench::default_flow();
+
+  // Shared and full references.
+  const auto shared = xbar::validate_configuration(
+      app, bench::shared_request(app), bench::shared_response(app), opts);
+  const auto report = xbar::run_design_flow(app, opts);
+  const auto& full = report.full;
+  const auto& partial = report.designed;
+
+  const double shared_buses = 2.0;  // one bus per direction
+
+  table t({"Type", "Avg Lat (cy)", "Max Lat (cy)", "Size Ratio",
+           "Paper Avg", "Paper Max", "Paper Size"});
+  t.cell("shared")
+      .cell(shared.avg_latency, 1)
+      .cell(shared.max_latency, 0)
+      .cell(shared.total_buses / shared_buses, 1)
+      .cell("35.1").cell("51").cell("1")
+      .end_row();
+  t.cell("full")
+      .cell(full.avg_latency, 1)
+      .cell(full.max_latency, 0)
+      .cell(full.total_buses / shared_buses, 1)
+      .cell("6").cell("9").cell("10.5")
+      .end_row();
+  t.cell("partial")
+      .cell(partial.avg_latency, 1)
+      .cell(partial.max_latency, 0)
+      .cell(partial.total_buses / shared_buses, 1)
+      .cell("9.9").cell("20").cell("4")
+      .end_row();
+  std::printf("%s", t.render().c_str());
+
+  std::printf(
+      "\nshape check: shared/full avg ratio = %.2fx (paper 5.9x); "
+      "partial/full avg ratio = %.2fx (paper 1.7x)\n",
+      shared.avg_latency / full.avg_latency,
+      partial.avg_latency / full.avg_latency);
+  std::printf(
+      "designed partial crossbar: %d request + %d response buses\n",
+      report.request_design.num_buses, report.response_design.num_buses);
+  return 0;
+}

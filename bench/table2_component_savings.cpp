@@ -1,0 +1,45 @@
+// Reproduces Table 2: "component savings".
+//
+// For each of the five MPSoC applications, the bus count of the full
+// crossbar (one bus per core across both directions) is compared with the
+// crossbar designed by the window-based methodology.
+//
+// Paper reference: Mat1 25->8 (3.13x), Mat2 21->6 (3.5x),
+//                  FFT 29->15 (1.93x), QSort 15->6 (2.5x),
+//                  DES 19->6 (3.12x).
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_common.h"
+#include "util/table.h"
+#include "workloads/mpsoc_apps.h"
+#include "xbar/flow.h"
+
+int main() {
+  using namespace stx;
+  bench::print_header("Table 2 — component savings (buses, both crossbars)",
+                      "window=400cy, threshold=30%, maxtb=4");
+
+  const std::map<std::string, std::pair<int, double>> paper = {
+      {"Mat1", {8, 3.13}}, {"Mat2", {6, 3.5}},  {"FFT", {15, 1.93}},
+      {"QSort", {6, 2.5}}, {"DES", {6, 3.12}},
+  };
+
+  table t({"Application", "Full crossbar", "Designed crossbar", "Ratio",
+           "Paper designed", "Paper ratio"});
+  const auto opts = bench::default_flow();
+  for (const auto& app : workloads::all_mpsoc_apps()) {
+    const auto report = xbar::run_design_flow(app, opts);
+    const auto& ref = paper.at(app.name);
+    t.cell(app.name)
+        .cell(report.full_buses)
+        .cell(report.designed_buses)
+        .cell(report.savings(), 2)
+        .cell(ref.first)
+        .cell(ref.second, 2)
+        .end_row();
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

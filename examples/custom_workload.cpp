@@ -1,0 +1,121 @@
+// Building your own application from scratch with the public API — and
+// designing a crossbar for it two ways:
+//   1. trace-driven (simulate, analyse, synthesise: the full flow), and
+//   2. estimate-driven (no trace at all: hand the synthesiser rough
+//      per-window demand estimates, as the paper notes is possible when
+//      "only rough estimates of the traffic flows ... is known").
+//
+//   $ ./custom_workload
+#include <cstdio>
+
+#include "traffic/windows.h"
+#include "util/table.h"
+#include "workloads/app.h"
+#include "xbar/flow.h"
+
+namespace {
+
+using namespace stx;
+
+/// A small camera ISP pipeline: sensor DMA writes frames to a line
+/// buffer, two filter cores transform them through scratch memories, an
+/// encoder drains to the output buffer. Four initiators, five targets.
+workloads::app_spec make_isp_pipeline() {
+  using sim::core_op;
+  workloads::app_spec app;
+  app.name = "ISP";
+  app.num_initiators = 4;   // sensor-dma, filter0, filter1, encoder
+  app.num_targets = 5;      // line buffer, scratch0, scratch1, out, ctrl
+  app.target_names = {"LineBuffer", "Scratch0", "Scratch1", "OutBuffer",
+                      "CtrlRegs"};
+
+  auto compute = [](traffic::cycle_t c) {
+    core_op op;
+    op.op = core_op::kind::compute;
+    op.cycles = c;
+    return op;
+  };
+  auto read = [](int target, int cells) {
+    core_op op;
+    op.op = core_op::kind::read;
+    op.target = target;
+    op.cells = cells;
+    return op;
+  };
+  auto write = [](int target, int cells, bool critical = false) {
+    core_op op;
+    op.op = core_op::kind::write;
+    op.target = target;
+    op.cells = cells;
+    op.critical = critical;
+    return op;
+  };
+
+  // Sensor DMA: hard real-time line writes (critical stream).
+  app.programs.push_back(
+      {write(0, 32, /*critical=*/true), compute(60)});
+  // Filter 0: line buffer -> scratch0.
+  app.programs.push_back(
+      {read(0, 32), compute(40), write(1, 32), compute(20)});
+  // Filter 1: scratch0 -> scratch1.
+  app.programs.push_back(
+      {read(1, 32), compute(40), write(2, 32), compute(20)});
+  // Encoder: scratch1 -> out buffer, occasional control register pokes.
+  app.programs.push_back(
+      {read(2, 32), compute(80), write(3, 16), write(4, 1), compute(30)});
+  app.validate();
+  return app;
+}
+
+}  // namespace
+
+int main() {
+  const auto app = make_isp_pipeline();
+
+  // ---- Path 1: the full trace-driven flow.
+  xbar::flow_options opts;
+  opts.horizon = 60'000;
+  opts.synth.params.window_size = 300;
+  opts.synth.params.max_targets_per_bus = 3;
+  const auto report = xbar::run_design_flow(app, opts);
+  std::printf("trace-driven design for %s:\n", app.name.c_str());
+  std::printf("  request : %s\n", report.request_design.to_string().c_str());
+  std::printf("  response: %s\n", report.response_design.to_string().c_str());
+  std::printf("  buses %d -> %d (%.2fx), avg latency %.2f cy (full %.2f)\n\n",
+              report.full_buses, report.designed_buses, report.savings(),
+              report.designed.avg_latency, report.full.avg_latency);
+
+  // ---- Path 2: estimate-driven. Suppose no simulator existed: the
+  // designer knows per-phase demand estimates (cycles busy per 300-cycle
+  // window across a frame: active phase, blank phase) and which pairs
+  // overlap heavily.
+  const traffic::cycle_t WS = 300;
+  const std::vector<std::vector<xbar::cycle_t>> comm = {
+      {120, 120},  // LineBuffer: busy in both phases (DMA never stops)
+      {110, 0},    // Scratch0: filter0 active phase only
+      {110, 0},    // Scratch1: filter1 active phase only
+      {0, 60},     // OutBuffer: encoder drains during blanking
+      {2, 2},      // CtrlRegs: negligible
+  };
+  // Estimated total overlap (cycles) between streams; scratch0/scratch1
+  // overlap heavily because the two filters run in lockstep.
+  std::vector<std::vector<xbar::cycle_t>> om(5, std::vector<xbar::cycle_t>(5, 0));
+  om[1][2] = om[2][1] = 90;
+  om[0][1] = om[1][0] = 40;
+  om[0][2] = om[2][0] = 40;
+  std::vector<std::vector<bool>> conflict(5, std::vector<bool>(5, false));
+  conflict[1][2] = conflict[2][1] = true;  // designer separates the filters
+
+  xbar::design_params params;
+  params.window_size = WS;
+  params.max_targets_per_bus = 3;
+  const xbar::synthesis_input estimates(comm, om, conflict, WS, params);
+  xbar::synthesis_options so;
+  so.params = params;
+  const auto est_design = xbar::synthesize(estimates, so);
+  std::printf("estimate-driven design (no trace):\n  %s\n",
+              est_design.to_string().c_str());
+  std::printf("  (LineBuffer=0, Scratch0=1, Scratch1=2, OutBuffer=3, "
+              "CtrlRegs=4)\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// xbargen — command-line driver for the full design flow.
+//
+// Design from a built-in application model:
+//   $ ./xbargen --app=mat2 --window=400 --threshold=0.3 --maxtb=4
+//
+// Or from a previously captured trace file (one crossbar direction):
+//   $ ./xbargen --app=mat2 --save-traces=/tmp/mat2   # writes .req/.resp
+//   $ ./xbargen --trace=/tmp/mat2.req --window=400
+//
+// Prints the designed configuration and (for --app runs) the validated
+// latency against the full crossbar. Exit code 0 on success.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/flags.h"
+#include "workloads/mpsoc_apps.h"
+#include "workloads/synthetic.h"
+#include "xbar/flow.h"
+
+namespace {
+
+using namespace stx;
+
+workloads::app_spec pick_app(const std::string& name) {
+  using namespace stx::workloads;
+  if (name == "mat1") return make_mat1();
+  if (name == "mat2") return make_mat2();
+  if (name == "mat2-critical") return make_mat2_critical();
+  if (name == "fft") return make_fft();
+  if (name == "qsort") return make_qsort();
+  if (name == "des") return make_des();
+  if (name == "synthetic") return make_synthetic();
+  std::fprintf(stderr,
+               "xbargen: unknown --app=%s "
+               "(mat1|mat2|mat2-critical|fft|qsort|des|synthetic)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+xbar::synthesis_options synth_options(const flag_set& flags) {
+  xbar::synthesis_options so;
+  so.params.window_size = flags.get_int("window", 400);
+  so.params.overlap_threshold = flags.get_double("threshold", 0.30);
+  so.params.max_targets_per_bus =
+      static_cast<int>(flags.get_int("maxtb", 4));
+  so.params.use_overlap_conflicts = flags.get_bool("conflicts", true);
+  so.params.separate_critical = flags.get_bool("critical", true);
+  if (flags.get_string("solver", "specialized") == "milp") {
+    so.solver = xbar::solver_kind::generic_milp;
+  }
+  return so;
+}
+
+int design_from_trace(const flag_set& flags) {
+  const auto path = flags.get_string("trace", "");
+  const auto t = traffic::trace::load_file(path);
+  const auto design = xbar::synthesize_from_trace(t, synth_options(flags));
+  std::printf("%s\n", design.to_string().c_str());
+  std::printf("savings vs full: %.2fx (%d -> %d buses)\n",
+              design.savings_vs_full(), design.num_targets,
+              design.num_buses);
+  return 0;
+}
+
+int design_from_app(const flag_set& flags) {
+  const auto app = pick_app(flags.get_string("app", "mat2"));
+  xbar::flow_options opts;
+  opts.horizon = flags.get_int("horizon", 120'000);
+  opts.synth = synth_options(flags);
+
+  const auto save = flags.get_string("save-traces", "");
+  if (!save.empty()) {
+    const auto traces = xbar::collect_traces(app, opts);
+    traces.request.save_file(save + ".req");
+    traces.response.save_file(save + ".resp");
+    std::printf("wrote %s.req (%zu events) and %s.resp (%zu events)\n",
+                save.c_str(), traces.request.events().size(), save.c_str(),
+                traces.response.events().size());
+    return 0;
+  }
+
+  const auto report = xbar::run_design_flow(app, opts);
+  std::printf("application : %s (%d cores)\n", report.app_name.c_str(),
+              app.total_cores());
+  std::printf("request     : %s\n",
+              report.request_design.to_string().c_str());
+  std::printf("response    : %s\n",
+              report.response_design.to_string().c_str());
+  std::printf("buses       : %d -> %d (%.2fx savings)\n", report.full_buses,
+              report.designed_buses, report.savings());
+  std::printf("avg latency : %.2f cy (full: %.2f, %.2fx)\n",
+              report.designed.avg_latency, report.full.avg_latency,
+              report.designed.avg_latency / report.full.avg_latency);
+  std::printf("max latency : %.0f cy (full: %.0f)\n",
+              report.designed.max_latency, report.full.max_latency);
+  if (report.designed.avg_critical > 0.0) {
+    std::printf("critical avg: %.2f cy (full: %.2f)\n",
+                report.designed.avg_critical, report.full.avg_critical);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const flag_set flags(argc, argv);
+  if (flags.has("help")) {
+    std::printf(
+        "usage: xbargen [--app=NAME | --trace=FILE] [options]\n"
+        "  --app=NAME          built-in app "
+        "(mat1|mat2|mat2-critical|fft|qsort|des|synthetic)\n"
+        "  --trace=FILE        design one direction from a saved trace\n"
+        "  --save-traces=PATH  only collect traces, write PATH.req/.resp\n"
+        "  --window=N          analysis window size in cycles (400)\n"
+        "  --threshold=F       overlap threshold fraction (0.30)\n"
+        "  --maxtb=N           max targets per bus, 0=off (4)\n"
+        "  --conflicts=BOOL    overlap-conflict pre-processing (true)\n"
+        "  --critical=BOOL     separate critical streams (true)\n"
+        "  --solver=KIND       specialized|milp (specialized)\n"
+        "  --horizon=N         simulation cycles (120000)\n");
+    return 0;
+  }
+  try {
+    if (flags.has("trace")) return design_from_trace(flags);
+    return design_from_app(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "xbargen: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,246 @@
+#include "milp/branch_bound.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "lp/simplex.h"
+#include "milp/presolve.h"
+#include "util/error.h"
+
+namespace stx::milp {
+
+const char* to_string(milp_status s) {
+  switch (s) {
+    case milp_status::optimal: return "optimal";
+    case milp_status::feasible: return "feasible";
+    case milp_status::infeasible: return "infeasible";
+    case milp_status::unbounded: return "unbounded";
+    case milp_status::limit: return "limit";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double inf = std::numeric_limits<double>::infinity();
+
+class bb_engine {
+ public:
+  bb_engine(const model& m, const bb_options& opts)
+      : m_(m), opts_(opts), work_(m.relaxation()) {
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  bb_result run() {
+    dfs(0);
+    bb_result res;
+    res.nodes = nodes_;
+    res.lp_iterations = lp_iterations_;
+    res.best_bound = have_incumbent_ && search_complete()
+                         ? incumbent_obj_
+                         : open_bound_;
+    if (have_incumbent_) {
+      res.x = incumbent_;
+      res.objective = incumbent_obj_;
+      res.status = search_complete() ? milp_status::optimal
+                                     : milp_status::feasible;
+      if (opts_.feasibility_only) res.status = milp_status::optimal;
+    } else if (hit_unbounded_) {
+      res.status = milp_status::unbounded;
+    } else if (search_complete()) {
+      res.status = milp_status::infeasible;
+    } else {
+      res.status = milp_status::limit;
+    }
+    return res;
+  }
+
+ private:
+  bool out_of_budget() const {
+    if (nodes_ >= opts_.max_nodes) return true;
+    if (opts_.time_limit_sec > 0.0) {
+      const auto elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count();
+      if (elapsed > opts_.time_limit_sec) return true;
+    }
+    return false;
+  }
+
+  bool search_complete() const { return !limit_hit_ && !stop_; }
+
+  /// Fractional part distance from the nearest integer.
+  static double fractionality(double x) {
+    return std::abs(x - std::round(x));
+  }
+
+  void dfs(int depth) {
+    if (stop_) return;
+    if (out_of_budget()) {
+      limit_hit_ = true;
+      return;
+    }
+    ++nodes_;
+
+    lp::solve_options lp_opts;
+    const auto rel = lp::solve_simplex(work_, lp_opts);
+    lp_iterations_ += rel.iterations;
+    if (rel.status == lp::solve_status::infeasible) return;
+    if (rel.status == lp::solve_status::unbounded) {
+      // An unbounded relaxation at the root means the MILP is unbounded
+      // (or infeasible; we report unbounded which is what the LP proves).
+      if (depth == 0) hit_unbounded_ = true;
+      limit_hit_ = depth != 0;  // deeper: cannot conclude, treat as limit
+      return;
+    }
+    if (rel.status == lp::solve_status::iteration_limit) {
+      limit_hit_ = true;
+      return;
+    }
+
+    if (have_incumbent_ && !opts_.feasibility_only &&
+        rel.objective >= incumbent_obj_ - opts_.gap_abs) {
+      return;  // bound prune
+    }
+    open_bound_ = std::min(open_bound_, rel.objective);
+
+    // Most fractional integer variable.
+    int branch_var = -1;
+    double best_frac = opts_.int_tol;
+    for (int v = 0; v < m_.num_variables(); ++v) {
+      if (!m_.is_integer(v)) continue;
+      const double f = fractionality(rel.x[static_cast<std::size_t>(v)]);
+      if (f > best_frac) {
+        best_frac = f;
+        branch_var = v;
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integral: new incumbent.
+      accept_incumbent(rel.x, rel.objective);
+      return;
+    }
+
+    if (opts_.rounding_heuristic && !have_incumbent_) {
+      try_rounding(rel.x);
+      if (stop_) return;
+    }
+
+    const double xv = rel.x[static_cast<std::size_t>(branch_var)];
+    const double floor_v = std::floor(xv);
+    const double ceil_v = floor_v + 1.0;
+    const auto& vv = work_.var(branch_var);
+    const double saved_lo = vv.lower;
+    const double saved_hi = vv.upper;
+
+    // Explore the branch nearer the LP value first.
+    const bool up_first = (xv - floor_v) >= 0.5;
+    for (int side = 0; side < 2; ++side) {
+      const bool up = (side == 0) == up_first;
+      if (up) {
+        if (ceil_v > saved_hi + opts_.int_tol) continue;
+        work_.set_bounds(branch_var, ceil_v, saved_hi);
+      } else {
+        if (floor_v < saved_lo - opts_.int_tol) continue;
+        work_.set_bounds(branch_var, saved_lo, floor_v);
+      }
+      dfs(depth + 1);
+      work_.set_bounds(branch_var, saved_lo, saved_hi);
+      if (stop_) return;
+    }
+  }
+
+  void accept_incumbent(const std::vector<double>& x, double obj) {
+    // Snap integers exactly; re-verify against the (current-bounds) model.
+    std::vector<double> snapped = x;
+    for (int v = 0; v < m_.num_variables(); ++v) {
+      if (m_.is_integer(v)) {
+        snapped[static_cast<std::size_t>(v)] =
+            std::round(snapped[static_cast<std::size_t>(v)]);
+      }
+    }
+    if (!have_incumbent_ || obj < incumbent_obj_ - opts_.gap_abs) {
+      incumbent_ = std::move(snapped);
+      incumbent_obj_ = obj;
+      have_incumbent_ = true;
+      if (opts_.feasibility_only) stop_ = true;
+    }
+  }
+
+  /// Round-to-nearest heuristic: cheap incumbent seeding.
+  void try_rounding(const std::vector<double>& x) {
+    std::vector<double> rounded = x;
+    for (int v = 0; v < m_.num_variables(); ++v) {
+      if (!m_.is_integer(v)) continue;
+      auto& xv = rounded[static_cast<std::size_t>(v)];
+      xv = std::round(xv);
+      xv = std::clamp(xv, m_.relaxation().var(v).lower,
+                      m_.relaxation().var(v).upper);
+    }
+    if (m_.is_feasible(rounded, 1e-6)) {
+      accept_incumbent(rounded, m_.relaxation().objective_value(rounded));
+    }
+  }
+
+  const model& m_;
+  const bb_options& opts_;
+  lp::model work_;  // mutable bounds during the search
+  std::chrono::steady_clock::time_point start_;
+
+  std::int64_t nodes_ = 0;
+  std::int64_t lp_iterations_ = 0;
+  bool have_incumbent_ = false;
+  std::vector<double> incumbent_;
+  double incumbent_obj_ = inf;
+  double open_bound_ = inf;
+  bool limit_hit_ = false;
+  bool stop_ = false;
+  bool hit_unbounded_ = false;
+};
+
+}  // namespace
+
+bb_result solve_branch_bound(const model& m, const bb_options& opts) {
+  if (!opts.use_presolve) {
+    bb_engine engine(m, opts);
+    return engine.run();
+  }
+
+  const auto pre = presolve(m);
+  if (pre.proven_infeasible) {
+    bb_result res;
+    res.status = milp_status::infeasible;
+    return res;
+  }
+
+  if (pre.reduced.num_variables() == 0) {
+    // Everything fixed by presolve; validate the point.
+    bb_result res;
+    const auto x = pre.expand({});
+    if (m.is_feasible(x, 1e-6)) {
+      res.status = milp_status::optimal;
+      res.x = x;
+      res.objective = m.relaxation().objective_value(x);
+      res.best_bound = res.objective;
+    } else {
+      res.status = milp_status::infeasible;
+    }
+    return res;
+  }
+
+  bb_engine engine(pre.reduced, opts);
+  auto res = engine.run();
+  if (res.status == milp_status::optimal ||
+      res.status == milp_status::feasible) {
+    res.x = pre.expand(res.x);
+    res.objective = m.relaxation().objective_value(res.x);
+    STX_ENSURE(m.is_feasible(res.x, 1e-5),
+               "branch & bound produced an infeasible incumbent");
+  }
+  return res;
+}
+
+}  // namespace stx::milp

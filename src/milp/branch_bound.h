@@ -1,0 +1,58 @@
+// Branch & bound MILP solver over the simplex LP relaxation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "milp/model.h"
+
+namespace stx::milp {
+
+/// Terminal state of a MILP solve.
+enum class milp_status {
+  optimal,     ///< proven optimal (or proven feasible in feasibility mode)
+  feasible,    ///< incumbent found but search hit a limit before proving
+  infeasible,  ///< proven: no integer feasible point exists
+  unbounded,   ///< LP relaxation unbounded in the minimization direction
+  limit,       ///< node/time limit hit with no incumbent: unresolved
+};
+
+const char* to_string(milp_status s);
+
+/// Search knobs.
+struct bb_options {
+  /// Stop after exploring this many branch & bound nodes.
+  std::int64_t max_nodes = 2'000'000;
+  /// Wall-clock budget in seconds (checked between nodes); <= 0 = none.
+  double time_limit_sec = 120.0;
+  /// Stop at the first integer-feasible point (paper's MILP1 usage:
+  /// "obj: Feasibility Analysis").
+  bool feasibility_only = false;
+  /// Integrality tolerance.
+  double int_tol = 1e-6;
+  /// Absolute objective gap for pruning against the incumbent.
+  double gap_abs = 1e-6;
+  /// Run bound-tightening presolve before the search.
+  bool use_presolve = true;
+  /// Try a round-to-nearest heuristic at each node to seed the incumbent.
+  bool rounding_heuristic = true;
+};
+
+/// Solve outcome. `x` is in the ORIGINAL variable space (presolve fixings
+/// are expanded back) and `objective` is evaluated on the original model.
+struct bb_result {
+  milp_status status = milp_status::limit;
+  double objective = 0.0;
+  std::vector<double> x;
+  std::int64_t nodes = 0;
+  std::int64_t lp_iterations = 0;
+  double best_bound = 0.0;  ///< global lower bound on the optimum
+};
+
+/// Depth-first branch & bound with most-fractional branching (preferring
+/// the branch nearer the LP value), presolve, and an optional rounding
+/// heuristic. Exact for the 0/1 models used throughout this repository;
+/// the specialised solver in src/xbar is cross-checked against it.
+bb_result solve_branch_bound(const model& m, const bb_options& opts = {});
+
+}  // namespace stx::milp

@@ -1,0 +1,63 @@
+#include "milp/model.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace stx::milp {
+
+int model::add_continuous(double lower, double upper, double objective,
+                          std::string name) {
+  const int v = relaxation_.add_variable(lower, upper, objective,
+                                         std::move(name));
+  integer_.push_back(false);
+  return v;
+}
+
+int model::add_integer(double lower, double upper, double objective,
+                       std::string name) {
+  const int v = relaxation_.add_variable(lower, upper, objective,
+                                         std::move(name));
+  integer_.push_back(true);
+  return v;
+}
+
+int model::add_binary(double objective, std::string name) {
+  return add_integer(0.0, 1.0, objective, std::move(name));
+}
+
+int model::add_row(std::vector<lp::term> terms, lp::relation rel, double rhs,
+                   std::string name) {
+  return relaxation_.add_row(std::move(terms), rel, rhs, std::move(name));
+}
+
+void model::set_objective(int var, double coefficient) {
+  relaxation_.set_objective(var, coefficient);
+}
+
+void model::set_bounds(int var, double lower, double upper) {
+  relaxation_.set_bounds(var, lower, upper);
+}
+
+int model::num_integer_variables() const {
+  int n = 0;
+  for (bool b : integer_) n += b ? 1 : 0;
+  return n;
+}
+
+bool model::is_integer(int var) const {
+  STX_REQUIRE(var >= 0 && var < num_variables(), "is_integer: bad index");
+  return integer_[static_cast<std::size_t>(var)];
+}
+
+bool model::is_feasible(const std::vector<double>& x, double tol) const {
+  if (!relaxation_.is_feasible(x, tol)) return false;
+  for (int v = 0; v < num_variables(); ++v) {
+    if (!is_integer(v)) continue;
+    const double xv = x[static_cast<std::size_t>(v)];
+    if (std::abs(xv - std::round(xv)) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace stx::milp

@@ -1,0 +1,55 @@
+// Mixed integer linear program model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace stx::milp {
+
+/// A mixed integer linear program: an LP plus integrality marks.
+///
+/// The crossbar formulation (paper Eq. 3-9 and Eq. 11) is expressed on
+/// this type and handed to `solve_branch_bound`. The class wraps
+/// `stx::lp::model` so the LP relaxation is available for free.
+class model {
+ public:
+  /// Continuous variable in [lower, upper].
+  int add_continuous(double lower, double upper, double objective,
+                     std::string name = {});
+
+  /// Integer variable in [lower, upper] (bounds are rounded outward to
+  /// integers by the solver's branching, not here).
+  int add_integer(double lower, double upper, double objective,
+                  std::string name = {});
+
+  /// Binary (0/1) variable.
+  int add_binary(double objective, std::string name = {});
+
+  /// Adds a linear constraint row; see lp::model::add_row.
+  int add_row(std::vector<lp::term> terms, lp::relation rel, double rhs,
+              std::string name = {});
+
+  void set_objective(int var, double coefficient);
+  void set_bounds(int var, double lower, double upper);
+
+  int num_variables() const { return relaxation_.num_variables(); }
+  int num_rows() const { return relaxation_.num_rows(); }
+  int num_integer_variables() const;
+
+  bool is_integer(int var) const;
+
+  /// The LP relaxation (same variables and rows, integrality dropped).
+  const lp::model& relaxation() const { return relaxation_; }
+  lp::model& relaxation() { return relaxation_; }
+
+  /// True when `x` satisfies rows, bounds and integrality within `tol`.
+  bool is_feasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+ private:
+  lp::model relaxation_;
+  std::vector<bool> integer_;
+};
+
+}  // namespace stx::milp

@@ -1,0 +1,86 @@
+#include "sim/arbiter.h"
+
+#include "util/error.h"
+
+namespace stx::sim {
+
+const char* to_string(arbitration a) {
+  switch (a) {
+    case arbitration::fixed_priority: return "fixed_priority";
+    case arbitration::round_robin: return "round_robin";
+    case arbitration::least_recently_granted: return "least_recently_granted";
+  }
+  return "?";
+}
+
+namespace {
+
+class fixed_priority_arbiter final : public arbiter {
+ public:
+  int pick(const std::vector<bool>& requesting, cycle_t) override {
+    for (std::size_t p = 0; p < requesting.size(); ++p) {
+      if (requesting[p]) return static_cast<int>(p);
+    }
+    return -1;
+  }
+};
+
+class round_robin_arbiter final : public arbiter {
+ public:
+  explicit round_robin_arbiter(int num_ports) : num_ports_(num_ports) {}
+
+  int pick(const std::vector<bool>& requesting, cycle_t) override {
+    for (int k = 0; k < num_ports_; ++k) {
+      const int p = (last_ + 1 + k) % num_ports_;
+      if (requesting[static_cast<std::size_t>(p)]) {
+        last_ = p;
+        return p;
+      }
+    }
+    return -1;
+  }
+
+ private:
+  int num_ports_;
+  int last_ = -1;
+};
+
+class lrg_arbiter final : public arbiter {
+ public:
+  explicit lrg_arbiter(int num_ports)
+      : last_grant_(static_cast<std::size_t>(num_ports), -1) {}
+
+  int pick(const std::vector<bool>& requesting, cycle_t now) override {
+    int best = -1;
+    cycle_t best_time = 0;
+    for (std::size_t p = 0; p < requesting.size(); ++p) {
+      if (!requesting[p]) continue;
+      if (best < 0 || last_grant_[p] < best_time) {
+        best = static_cast<int>(p);
+        best_time = last_grant_[p];
+      }
+    }
+    if (best >= 0) last_grant_[static_cast<std::size_t>(best)] = now;
+    return best;
+  }
+
+ private:
+  std::vector<cycle_t> last_grant_;
+};
+
+}  // namespace
+
+std::unique_ptr<arbiter> make_arbiter(arbitration policy, int num_ports) {
+  STX_REQUIRE(num_ports > 0, "arbiter needs at least one port");
+  switch (policy) {
+    case arbitration::fixed_priority:
+      return std::make_unique<fixed_priority_arbiter>();
+    case arbitration::round_robin:
+      return std::make_unique<round_robin_arbiter>(num_ports);
+    case arbitration::least_recently_granted:
+      return std::make_unique<lrg_arbiter>(num_ports);
+  }
+  throw invalid_argument_error("unknown arbitration policy");
+}
+
+}  // namespace stx::sim

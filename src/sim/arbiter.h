@@ -1,0 +1,37 @@
+// Bus arbitration policies.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/packet.h"
+
+namespace stx::sim {
+
+/// Arbitration policy selector for the per-bus arbiters (the "A" boxes of
+/// Fig. 1). STbus nodes support programmable arbitration; we model the
+/// three classic ones.
+enum class arbitration {
+  fixed_priority,           ///< lowest port index wins
+  round_robin,              ///< rotating priority from last grant + 1
+  least_recently_granted,   ///< port that has waited longest since a grant
+};
+
+const char* to_string(arbitration a);
+
+/// Chooses which requesting input port gets the bus next. Stateful
+/// (round-robin pointer / grant history); one instance per bus.
+class arbiter {
+ public:
+  virtual ~arbiter() = default;
+
+  /// Returns the granted port index, or -1 when no port requests.
+  /// `requesting[p]` is true when port p has a packet ready; `now` is the
+  /// current cycle (used by history-based policies).
+  virtual int pick(const std::vector<bool>& requesting, cycle_t now) = 0;
+};
+
+/// Factory for a policy instance over `num_ports` ports.
+std::unique_ptr<arbiter> make_arbiter(arbitration policy, int num_ports);
+
+}  // namespace stx::sim

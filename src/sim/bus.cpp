@@ -1,0 +1,75 @@
+#include "sim/bus.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace stx::sim {
+
+bus::bus(int id, int num_ports, arbitration policy, cycle_t overhead)
+    : id_(id),
+      num_ports_(num_ports),
+      overhead_(overhead),
+      arbiter_(make_arbiter(policy, num_ports)),
+      queues_(static_cast<std::size_t>(num_ports)),
+      requesting_(static_cast<std::size_t>(num_ports), false) {
+  STX_REQUIRE(overhead >= 0, "bus overhead must be non-negative");
+}
+
+void bus::enqueue(int port, const packet& p) {
+  STX_REQUIRE(port >= 0 && port < num_ports_, "bus port out of range");
+  STX_REQUIRE(p.cells > 0, "packet must occupy at least one cell");
+  auto& q = queues_[static_cast<std::size_t>(port)];
+  q.push_back(p);
+  max_depth_ = std::max(max_depth_, static_cast<int>(q.size()));
+}
+
+bool bus::has_backlog() const {
+  for (const auto& q : queues_) {
+    if (!q.empty()) return true;
+  }
+  return false;
+}
+
+void bus::step(cycle_t now, const deliver_fn& deliver) {
+  if (transferring_) {
+    ++busy_cycles_;
+    if (now + 1 >= transfer_end_) {
+      // Last busy cycle: the final cell lands now.
+      transferring_ = false;
+      ++delivered_;
+      deliver(current_, recv_begin_, transfer_end_);
+    }
+    return;
+  }
+
+  // Idle: arbitrate among ports with a pending packet.
+  bool any = false;
+  for (int p = 0; p < num_ports_; ++p) {
+    const bool req = !queues_[static_cast<std::size_t>(p)].empty();
+    requesting_[static_cast<std::size_t>(p)] = req;
+    any = any || req;
+  }
+  if (!any) return;
+  const int granted = arbiter_->pick(requesting_, now);
+  STX_ENSURE(granted >= 0, "arbiter returned no grant despite requests");
+  auto& q = queues_[static_cast<std::size_t>(granted)];
+  current_ = q.front();
+  q.pop_front();
+  transferring_ = true;
+  // The grant cycle itself is the first overhead cycle. The recorded
+  // receive interval spans the packet's whole bus occupancy (overhead +
+  // cells): the window bandwidth constraint (Eq. 4) budgets bus capacity,
+  // and the adapter/arbitration cycles consume capacity just like cells.
+  recv_begin_ = now;
+  transfer_end_ = now + overhead_ + current_.cells;
+  ++busy_cycles_;
+  if (now + 1 >= transfer_end_) {
+    // Single-cell packet with zero overhead completes immediately.
+    transferring_ = false;
+    ++delivered_;
+    deliver(current_, recv_begin_, transfer_end_);
+  }
+}
+
+}  // namespace stx::sim

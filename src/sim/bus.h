@@ -1,0 +1,70 @@
+// Single bus: the serialising resource of an STbus crossbar.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/arbiter.h"
+#include "sim/packet.h"
+
+namespace stx::sim {
+
+/// Called when a packet's last cell reaches its destination.
+/// [recv_begin, recv_end) is the span of cycles during which the packet
+/// occupied the bus toward its destination — overhead plus data cells —
+/// which is what the traffic trace records (Eq. 4 budgets bus capacity).
+using deliver_fn =
+    std::function<void(const packet&, cycle_t recv_begin, cycle_t recv_end)>;
+
+/// One bus of a crossbar (Fig. 1): every initiator has an input port; the
+/// arbiter grants one packet at a time; a granted packet occupies the bus
+/// for `overhead + cells` cycles and delivers one cell per cycle after the
+/// overhead (arbitration + frequency/size adapter cost).
+class bus {
+ public:
+  /// `overhead` models the fixed per-packet cost of the arbiter and the
+  /// frequency/data-width adapters between heterogeneous cores (Sec. 3.1).
+  bus(int id, int num_ports, arbitration policy, cycle_t overhead);
+
+  /// Queues a packet at input `port` (its `issue` field should carry the
+  /// enqueue cycle for latency accounting).
+  void enqueue(int port, const packet& p);
+
+  /// Advances one cycle. Completes an in-flight transfer whose last cell
+  /// lands this cycle (invoking `deliver`), then, if idle, arbitrates and
+  /// starts the next transfer.
+  void step(cycle_t now, const deliver_fn& deliver);
+
+  int id() const { return id_; }
+  int num_ports() const { return num_ports_; }
+  bool idle() const { return !transferring_; }
+  bool has_backlog() const;
+
+  /// Cycles this bus spent transferring (including overhead cycles).
+  cycle_t busy_cycles() const { return busy_cycles_; }
+  /// Packets fully delivered.
+  std::int64_t delivered_packets() const { return delivered_; }
+  /// Maximum queue depth ever observed across ports (congestion signal).
+  int max_queue_depth() const { return max_depth_; }
+
+ private:
+  int id_;
+  int num_ports_;
+  cycle_t overhead_;
+  std::unique_ptr<arbiter> arbiter_;
+  std::vector<std::deque<packet>> queues_;
+
+  bool transferring_ = false;
+  packet current_{};
+  cycle_t transfer_end_ = 0;   ///< first cycle the bus is free again
+  cycle_t recv_begin_ = 0;     ///< first cycle the destination receives
+
+  cycle_t busy_cycles_ = 0;
+  std::int64_t delivered_ = 0;
+  int max_depth_ = 0;
+  std::vector<bool> requesting_;  // scratch for the arbiter
+};
+
+}  // namespace stx::sim

@@ -1,0 +1,203 @@
+#include "sim/core.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace stx::sim {
+
+void barrier_board::arrive(int barrier_id, std::int64_t epoch) {
+  const std::int64_t key =
+      (static_cast<std::int64_t>(barrier_id) << 32) | (epoch & 0xffffffff);
+  const int idx = find(key);
+  if (idx >= 0) {
+    ++counts_[static_cast<std::size_t>(idx)].second;
+  } else {
+    counts_.emplace_back(key, 1);
+  }
+}
+
+bool barrier_board::open(int barrier_id, std::int64_t epoch,
+                         int group_size) const {
+  const std::int64_t key =
+      (static_cast<std::int64_t>(barrier_id) << 32) | (epoch & 0xffffffff);
+  const int idx = find(key);
+  return idx >= 0 &&
+         counts_[static_cast<std::size_t>(idx)].second >= group_size;
+}
+
+int barrier_board::find(std::int64_t key) const {
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i].first == key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+core::core(int id, std::vector<core_op> program, const core_params& params,
+           rng jitter_rng, std::size_t loop_start)
+    : id_(id),
+      program_(std::move(program)),
+      params_(params),
+      rng_(jitter_rng),
+      loop_start_(loop_start),
+      barrier_visits_(program_.size(), 0),
+      round_trip_(/*keep_samples=*/false) {
+  STX_REQUIRE(!program_.empty(), "core program must not be empty");
+  STX_REQUIRE(loop_start_ < program_.size(),
+              "loop_start must index into the program");
+  for (const auto& op : program_) {
+    if (op.op == core_op::kind::barrier) {
+      STX_REQUIRE(op.group_size > 0, "barrier needs a positive group size");
+    }
+    if (op.op == core_op::kind::read || op.op == core_op::kind::write) {
+      STX_REQUIRE(op.cells > 0, "transfer ops need a positive cell count");
+    }
+  }
+}
+
+void core::advance() {
+  if (program_[pc_].op == core_op::kind::barrier) {
+    ++barrier_visits_[pc_];
+    bphase_ = barrier_phase::announce;
+  }
+  ++pc_;
+  if (pc_ == program_.size()) {
+    pc_ = loop_start_;
+    ++iterations_;
+  }
+  state_ = state::ready;
+}
+
+void core::step(cycle_t now, const send_fn& send, barrier_board& barriers) {
+  if (state_ == state::waiting_response) return;
+  if (state_ == state::computing) {
+    if (now < compute_done_) return;
+    state_ = state::ready;
+  }
+
+  if (pending_arrival_) {
+    // The barrier-arrival write was acknowledged: register on the board
+    // and start polling (the first check may already find the barrier
+    // open when this core is the last arriver).
+    const auto& bop = program_[pc_];
+    barriers.arrive(bop.barrier_id, barrier_visits_[pc_]);
+    pending_arrival_ = false;
+    bphase_ = barrier_phase::poll_wait;
+    next_poll_ = now;
+  }
+
+  const auto& op = program_[pc_];
+  switch (op.op) {
+    case core_op::kind::compute: {
+      const auto spread = static_cast<cycle_t>(
+          std::llround(static_cast<double>(op.cycles) * params_.compute_jitter));
+      const cycle_t duration = rng_.jitter(op.cycles, spread, 0);
+      // Move past the compute op immediately; `computing` gates the next
+      // op until compute_done_.
+      advance();
+      if (duration == 0) return;  // one op per cycle regardless
+      compute_done_ = now + duration;
+      state_ = state::computing;
+      return;
+    }
+    case core_op::kind::read:
+    case core_op::kind::write: {
+      packet p;
+      p.source = id_;
+      p.dest = op.target;
+      p.critical = op.critical;
+      p.txn = next_txn_++;
+      p.issue = now;
+      if (op.op == core_op::kind::read) {
+        p.kind = packet_kind::request_read;
+        p.cells = params_.read_request_cells;
+        p.response_cells = op.cells;
+      } else {
+        p.kind = packet_kind::request_write;
+        p.cells = op.cells;
+        p.response_cells = 1;
+      }
+      wait_txn_ = p.txn;
+      request_issue_ = now;
+      state_ = state::waiting_response;
+      send(p);
+      return;
+    }
+    case core_op::kind::barrier: {
+      const std::int64_t epoch = barrier_visits_[pc_];
+      switch (bphase_) {
+        case barrier_phase::announce: {
+          // Arrive: 1-cell write to the semaphore target; the arrival is
+          // registered when the acknowledge returns (see on_response).
+          packet p;
+          p.source = id_;
+          p.dest = op.target;
+          p.kind = packet_kind::request_write;
+          p.cells = 1;
+          p.response_cells = 1;
+          p.critical = op.critical;
+          p.txn = next_txn_++;
+          p.issue = now;
+          wait_txn_ = p.txn;
+          request_issue_ = now;
+          state_ = state::waiting_response;
+          send(p);
+          return;
+        }
+        case barrier_phase::poll_wait: {
+          if (barriers.open(op.barrier_id, epoch, op.group_size)) {
+            advance();
+            return;
+          }
+          if (now < next_poll_) return;
+          packet p;
+          p.source = id_;
+          p.dest = op.target;
+          p.kind = packet_kind::request_read;
+          p.cells = 1;
+          p.response_cells = 1;
+          p.critical = op.critical;
+          p.txn = next_txn_++;
+          p.issue = now;
+          wait_txn_ = p.txn;
+          request_issue_ = now;
+          bphase_ = barrier_phase::poll_inflight;
+          state_ = state::waiting_response;
+          send(p);
+          return;
+        }
+        case barrier_phase::poll_inflight: {
+          // Poll response processed in on_response; check the board now.
+          if (barriers.open(op.barrier_id, epoch, op.group_size)) {
+            advance();
+          } else {
+            bphase_ = barrier_phase::poll_wait;
+            next_poll_ = now + params_.barrier_poll_interval;
+          }
+          return;
+        }
+      }
+      return;
+    }
+  }
+}
+
+void core::on_response(const packet& p, cycle_t now) {
+  STX_ENSURE(state_ == state::waiting_response,
+             "core received a response while not waiting");
+  STX_ENSURE(p.txn == wait_txn_, "response txn mismatch");
+  round_trip_.add(static_cast<double>(now - request_issue_));
+
+  const auto& op = program_[pc_];
+  if (op.op == core_op::kind::barrier) {
+    // Arrival ack: registration is deferred to step() because the board
+    // reference lives there. Poll responses re-check the board in step().
+    if (bphase_ == barrier_phase::announce) pending_arrival_ = true;
+    state_ = state::ready;
+    return;
+  }
+  ++transactions_;
+  advance();
+}
+
+}  // namespace stx::sim

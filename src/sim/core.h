@@ -1,0 +1,121 @@
+// Program-driven processor core model (closed-loop initiator).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/packet.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace stx::sim {
+
+/// One instruction of a core's traffic program. Programs replace the ARM
+/// ISS + benchmark binaries of the paper's MPARM environment: they
+/// generate the same first-order traffic features (bursts, phase-aligned
+/// accesses, sync traffic) while staying closed-loop — a core blocks on
+/// its reads/writes, so traffic timing responds to interconnect design.
+struct core_op {
+  enum class kind {
+    compute,  ///< stay silent for `cycles` (jittered per iteration)
+    read,     ///< read `cells` data cells from `target` (blocks)
+    write,    ///< write `cells` data cells to `target` (blocks on ack)
+    barrier,  ///< synchronise with `group_size` cores via `target`
+  };
+
+  kind op = kind::compute;
+  int target = 0;         ///< destination endpoint for read/write/barrier
+  int cells = 1;          ///< payload size in bus cells
+  cycle_t cycles = 0;     ///< compute duration
+  bool critical = false;  ///< real-time stream marker
+  int barrier_id = 0;     ///< distinct id per barrier op in the app
+  int group_size = 0;     ///< cores participating in the barrier
+};
+
+/// Shared barrier scoreboard. Cores arriving at barrier (id, epoch)
+/// increment the count; the barrier opens when `group_size` arrived.
+class barrier_board {
+ public:
+  void arrive(int barrier_id, std::int64_t epoch);
+  bool open(int barrier_id, std::int64_t epoch, int group_size) const;
+
+ private:
+  /// arrivals[(barrier_id << 32) | epoch] — epochs are small in practice.
+  std::vector<std::pair<std::int64_t, int>> counts_;
+  int find(std::int64_t key) const;
+};
+
+/// Knobs shared by all cores of a system.
+struct core_params {
+  /// Request packet size for reads (address beat count).
+  int read_request_cells = 1;
+  /// Cycles between semaphore polls while spinning on a barrier.
+  cycle_t barrier_poll_interval = 40;
+  /// Fractional jitter applied to compute durations per iteration
+  /// (0.1 = +-10%), decorrelating cores that run identical programs.
+  double compute_jitter = 0.10;
+};
+
+/// A processor core executing its program in a loop until the simulation
+/// horizon. Issues requests through `send`; the system feeds responses
+/// back via `on_response`.
+class core {
+ public:
+  /// Ops before `loop_start` form a one-time prologue (e.g. a phase
+  /// offset); the loop body is [loop_start, end).
+  core(int id, std::vector<core_op> program, const core_params& params,
+       rng jitter_rng, std::size_t loop_start = 0);
+
+  /// Advances one cycle; may issue at most one new request.
+  void step(cycle_t now, const send_fn& send, barrier_board& barriers);
+
+  /// Response crossbar delivery for this core (matched by txn id).
+  void on_response(const packet& p, cycle_t now);
+
+  int id() const { return id_; }
+  /// Completed program iterations (loop count).
+  std::int64_t iterations() const { return iterations_; }
+  /// Completed read/write transactions.
+  std::int64_t transactions() const { return transactions_; }
+  /// Round-trip latency of completed transactions (request issue to
+  /// response fully delivered).
+  const running_stats& round_trip() const { return round_trip_; }
+  bool waiting() const { return state_ == state::waiting_response; }
+
+ private:
+  enum class state {
+    ready,             ///< about to execute the current op
+    computing,         ///< silent until compute_done_
+    waiting_response,  ///< read/write in flight
+    barrier_spin,      ///< between semaphore polls
+  };
+
+  void advance();  ///< move to the next op (wrapping and counting loops)
+
+  int id_;
+  std::vector<core_op> program_;
+  core_params params_;
+  rng rng_;
+  std::size_t loop_start_ = 0;
+
+  std::size_t pc_ = 0;
+  state state_ = state::ready;
+  cycle_t compute_done_ = 0;
+  cycle_t request_issue_ = 0;
+  std::int64_t next_txn_ = 1;
+  std::int64_t wait_txn_ = 0;
+  std::int64_t iterations_ = 0;
+  std::int64_t transactions_ = 0;
+
+  // Barrier progress for the current barrier op.
+  enum class barrier_phase { announce, poll_wait, poll_inflight };
+  barrier_phase bphase_ = barrier_phase::announce;
+  bool pending_arrival_ = false;  ///< arrival ack seen; register next step
+  cycle_t next_poll_ = 0;
+  std::vector<std::int64_t> barrier_visits_;  ///< per-op epoch counters
+
+  running_stats round_trip_;
+};
+
+}  // namespace stx::sim

@@ -1,0 +1,40 @@
+// Packet model for the STbus-style interconnect simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "traffic/trace.h"
+
+namespace stx::sim {
+
+using cycle_t = traffic::cycle_t;
+
+/// What a packet is doing in the transaction protocol.
+enum class packet_kind {
+  request_read,   ///< initiator -> target: read request (address beat)
+  request_write,  ///< initiator -> target: write request carrying data
+  response_read,  ///< target -> initiator: read data return
+  response_ack,   ///< target -> initiator: write completion acknowledge
+};
+
+/// One packet travelling over one crossbar direction. `cells` is the
+/// number of bus beats the packet occupies (one cell per cycle once
+/// granted); `response_cells` on a request tells the target how large the
+/// reply must be.
+struct packet {
+  int source = 0;          ///< sending endpoint id on this crossbar
+  int dest = 0;            ///< receiving endpoint id on this crossbar
+  int cells = 1;           ///< beats on the bus
+  int response_cells = 1;  ///< size of the reply this request asks for
+  packet_kind kind = packet_kind::request_read;
+  bool critical = false;   ///< belongs to a real-time stream
+  cycle_t issue = 0;       ///< cycle the packet entered the crossbar queue
+  std::int64_t txn = 0;    ///< transaction id for request/response pairing
+};
+
+/// Sink for packets a component wants to send (routed by the system into
+/// the appropriate crossbar).
+using send_fn = std::function<void(const packet&)>;
+
+}  // namespace stx::sim

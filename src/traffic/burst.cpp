@@ -1,0 +1,55 @@
+#include "traffic/burst.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace stx::traffic {
+
+burst_stats analyze_bursts(const trace& t, int target,
+                           cycle_t gap_threshold) {
+  STX_REQUIRE(gap_threshold >= 0, "gap threshold must be non-negative");
+  const auto intervals = t.busy_intervals(target);
+  burst_stats out;
+  if (intervals.empty()) return out;
+
+  std::vector<std::pair<cycle_t, cycle_t>> bursts;
+  bursts.push_back(intervals.front());
+  for (std::size_t k = 1; k < intervals.size(); ++k) {
+    if (intervals[k].first - bursts.back().second <= gap_threshold) {
+      bursts.back().second = intervals[k].second;
+    } else {
+      bursts.push_back(intervals[k]);
+    }
+  }
+
+  out.count = static_cast<int>(bursts.size());
+  double len_sum = 0.0;
+  for (const auto& [b, e] : bursts) {
+    len_sum += static_cast<double>(e - b);
+    out.max_length = std::max(out.max_length, e - b);
+  }
+  out.mean_length = len_sum / static_cast<double>(bursts.size());
+  if (bursts.size() > 1) {
+    double gap_sum = 0.0;
+    for (std::size_t k = 1; k < bursts.size(); ++k) {
+      gap_sum += static_cast<double>(bursts[k].first - bursts[k - 1].second);
+    }
+    out.mean_gap = gap_sum / static_cast<double>(bursts.size() - 1);
+  }
+  return out;
+}
+
+double typical_burst_length(const trace& t, cycle_t gap_threshold) {
+  double sum = 0.0;
+  int n = 0;
+  for (int i = 0; i < t.num_targets(); ++i) {
+    const auto s = analyze_bursts(t, i, gap_threshold);
+    if (s.count == 0) continue;
+    sum += s.mean_length;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+}  // namespace stx::traffic

@@ -1,0 +1,124 @@
+#include "traffic/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace stx::traffic {
+
+trace::trace(int num_targets, int num_initiators, cycle_t horizon)
+    : num_targets_(num_targets),
+      num_initiators_(num_initiators),
+      horizon_(horizon) {
+  STX_REQUIRE(num_targets >= 0 && num_initiators >= 0 && horizon >= 0,
+              "trace dimensions must be non-negative");
+}
+
+void trace::add(const stream_event& e) {
+  STX_REQUIRE(e.target >= 0 && e.target < num_targets_,
+              "event target out of range");
+  STX_REQUIRE(e.initiator >= 0 && e.initiator < num_initiators_,
+              "event initiator out of range");
+  STX_REQUIRE(e.begin >= 0 && e.begin < e.end, "event interval malformed");
+  horizon_ = std::max(horizon_, e.end);
+  events_.push_back(e);
+}
+
+void trace::extend_horizon(cycle_t h) { horizon_ = std::max(horizon_, h); }
+
+std::vector<cycle_t> trace::total_busy_per_target() const {
+  std::vector<cycle_t> out(static_cast<std::size_t>(num_targets_), 0);
+  for (int t = 0; t < num_targets_; ++t) {
+    for (const auto& [b, e] : busy_intervals(t)) {
+      out[static_cast<std::size_t>(t)] += e - b;
+    }
+  }
+  return out;
+}
+
+bool trace::target_has_critical(int target) const {
+  for (const auto& e : events_) {
+    if (e.target == target && e.critical) return true;
+  }
+  return false;
+}
+
+std::vector<std::pair<cycle_t, cycle_t>> trace::busy_intervals(
+    int target, bool critical_only) const {
+  STX_REQUIRE(target >= 0 && target < num_targets_, "target out of range");
+  std::vector<std::pair<cycle_t, cycle_t>> spans;
+  for (const auto& e : events_) {
+    if (e.target != target) continue;
+    if (critical_only && !e.critical) continue;
+    spans.emplace_back(e.begin, e.end);
+  }
+  std::sort(spans.begin(), spans.end());
+  std::vector<std::pair<cycle_t, cycle_t>> merged;
+  for (const auto& s : spans) {
+    if (!merged.empty() && s.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, s.second);
+    } else {
+      merged.push_back(s);
+    }
+  }
+  return merged;
+}
+
+void trace::save(std::ostream& out) const {
+  out << "stxtrace v1 targets=" << num_targets_
+      << " initiators=" << num_initiators_ << " horizon=" << horizon_
+      << " events=" << events_.size() << "\n";
+  for (const auto& e : events_) {
+    out << e.target << " " << e.initiator << " " << e.begin << " " << e.end
+        << " " << (e.critical ? 1 : 0) << "\n";
+  }
+}
+
+trace trace::load(std::istream& in) {
+  std::string magic, version;
+  in >> magic >> version;
+  STX_REQUIRE(magic == "stxtrace" && version == "v1",
+              "not an stxtrace v1 stream");
+  auto read_kv = [&](const std::string& key) -> std::int64_t {
+    std::string tok;
+    in >> tok;
+    STX_REQUIRE(tok.rfind(key + "=", 0) == 0,
+                "expected " + key + "= in trace header");
+    try {
+      return std::stoll(tok.substr(key.size() + 1));
+    } catch (const std::exception&) {
+      throw invalid_argument_error("malformed " + key +
+                                   " value in trace header: " + tok);
+    }
+  };
+  const auto targets = read_kv("targets");
+  const auto initiators = read_kv("initiators");
+  const auto horizon = read_kv("horizon");
+  const auto count = read_kv("events");
+  trace t(static_cast<int>(targets), static_cast<int>(initiators), horizon);
+  for (std::int64_t i = 0; i < count; ++i) {
+    stream_event e;
+    int crit = 0;
+    in >> e.target >> e.initiator >> e.begin >> e.end >> crit;
+    STX_REQUIRE(static_cast<bool>(in), "truncated trace stream");
+    e.critical = crit != 0;
+    t.add(e);
+  }
+  return t;
+}
+
+void trace::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  STX_REQUIRE(out.good(), "cannot open trace file for writing: " + path);
+  save(out);
+}
+
+trace trace::load_file(const std::string& path) {
+  std::ifstream in(path);
+  STX_REQUIRE(in.good(), "cannot open trace file: " + path);
+  return load(in);
+}
+
+}  // namespace stx::traffic

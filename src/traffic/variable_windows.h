@@ -1,0 +1,92 @@
+// Variable-size analysis windows (the paper's stated future work:
+// "analyze the effect of using variable simulation window sizes for the
+// design for guaranteeing Quality-of-Service").
+//
+// A window partition is any increasing sequence of boundaries covering
+// [0, horizon). The burst-adaptive factory places fine windows where the
+// aggregate traffic is dense (so local variation and overlap are tracked
+// precisely exactly where QoS is at risk) and coarse windows in quiet
+// phases (so the model stays small and the design is not over-fitted to
+// silence).
+#pragma once
+
+#include <vector>
+
+#include "traffic/trace.h"
+
+namespace stx::traffic {
+
+/// A partition of [0, horizon) into consecutive windows.
+class window_partition {
+ public:
+  /// `boundaries` must start at 0, be strictly increasing, and end at the
+  /// horizon (the last element is the exclusive end of the last window).
+  explicit window_partition(std::vector<cycle_t> boundaries);
+
+  /// Equal-size windows (the paper's default analysis).
+  static window_partition uniform(cycle_t horizon, cycle_t window_size);
+
+  /// Equal-work windows: each window contains roughly the same number of
+  /// aggregate busy cycles of `t`, with window lengths clamped to
+  /// [min_size, max_size]. Dense phases get short windows, quiet phases
+  /// long ones.
+  static window_partition burst_adaptive(const trace& t,
+                                         cycle_t target_busy_per_window,
+                                         cycle_t min_size, cycle_t max_size);
+
+  int num_windows() const {
+    return static_cast<int>(boundaries_.size()) - 1;
+  }
+  cycle_t begin(int m) const;
+  cycle_t end(int m) const;
+  cycle_t size(int m) const { return end(m) - begin(m); }
+  cycle_t horizon() const { return boundaries_.back(); }
+
+  /// Largest window length in the partition.
+  cycle_t max_size() const;
+
+ private:
+  std::vector<cycle_t> boundaries_;
+};
+
+/// Window analysis over an arbitrary partition: per-window busy cycles,
+/// pairwise overlap maxima relative to each window's own size, overlap
+/// totals (Eq. 1) and critical overlaps — the variable-window analogue of
+/// `window_analysis`.
+class variable_window_analysis {
+ public:
+  variable_window_analysis(const trace& t, const window_partition& part);
+
+  const window_partition& partition() const { return part_; }
+  int num_windows() const { return part_.num_windows(); }
+  int num_targets() const { return num_targets_; }
+
+  /// comm[i][m]: busy cycles of target i inside window m.
+  cycle_t comm(int target, int window) const;
+
+  /// wo[i][j][m] for i != j (0 on the diagonal).
+  cycle_t pair_window_overlap(int i, int j, int window) const;
+
+  /// om[i][j] = sum_m wo[i][j][m].
+  cycle_t total_overlap(int i, int j) const;
+
+  /// max_m wo[i][j][m] / size(m): the overlap-threshold test must be
+  /// relative to each window's own capacity under variable windows.
+  double max_window_overlap_fraction(int i, int j) const;
+
+  /// Critical-stream overlap, summed over the trace.
+  cycle_t critical_overlap(int i, int j) const;
+
+ private:
+  int pair_index(int i, int j) const;
+
+  window_partition part_;
+  int num_targets_ = 0;
+  std::vector<cycle_t> comm_;           // target-major [i * W + m]
+  std::vector<cycle_t> wo_;             // pair-major [p * W + m]
+  std::vector<cycle_t> pair_total_;
+  std::vector<double> pair_max_frac_;
+  std::vector<cycle_t> pair_critical_;
+};
+
+}  // namespace stx::traffic

@@ -1,0 +1,81 @@
+// Window-based traffic analysis (paper Sections 4-5).
+//
+// The simulation period is divided into fixed-size windows. Per window we
+// record the busy cycles of every target (comm[i][m], Definition 2) and
+// the pairwise same-cycle overlap between targets (wo[i][j][m]). The
+// synthesis MILP consumes comm per window; the overlap matrix OM (Eq. 1)
+// and the conflict pre-processing consume per-pair totals and maxima.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "traffic/trace.h"
+
+namespace stx::traffic {
+
+/// Result of analysing a trace with a fixed window size.
+class window_analysis {
+ public:
+  /// Splits [0, horizon) of `t` into ceil(horizon / window_size) windows
+  /// and computes per-window busy cycles and pairwise overlaps.
+  window_analysis(const trace& t, cycle_t window_size);
+
+  cycle_t window_size() const { return window_size_; }
+  int num_windows() const { return num_windows_; }
+  int num_targets() const { return num_targets_; }
+
+  /// comm[i][m]: busy cycles of target `i` inside window `m`.
+  cycle_t comm(int target, int window) const;
+
+  /// wo[i][j][m]: cycles in window `m` where targets i and j both receive
+  /// data. Defined for i != j (0 on the diagonal); symmetric.
+  cycle_t pair_window_overlap(int i, int j, int window) const;
+
+  /// om[i][j] = sum_m wo[i][j][m] (Eq. 1). Diagonal is 0 by convention
+  /// (see DESIGN.md interpretation notes).
+  cycle_t total_overlap(int i, int j) const;
+
+  /// max_m wo[i][j][m]: what the overlap-threshold pre-processing tests.
+  cycle_t max_window_overlap(int i, int j) const;
+
+  /// Same-cycle overlap restricted to critical events of both targets,
+  /// summed over the trace; > 0 means the real-time streams collide and
+  /// the pre-processing must separate the two targets (Sec. 7.3).
+  cycle_t critical_overlap(int i, int j) const;
+
+  /// max_m comm[i][m]: the peak per-window demand of one target.
+  cycle_t peak_comm(int target) const;
+
+  /// Total busy cycles of a target (== sum of comm over windows).
+  cycle_t total_comm(int target) const;
+
+  /// Targets carrying at least one critical event.
+  const std::vector<bool>& critical_targets() const {
+    return critical_targets_;
+  }
+
+ private:
+  int pair_index(int i, int j) const;
+
+  cycle_t window_size_ = 0;
+  int num_windows_ = 0;
+  int num_targets_ = 0;
+  // comm_[i * num_windows_ + m]
+  std::vector<cycle_t> comm_;
+  // Per unordered pair (i < j): total, max-per-window, critical totals.
+  std::vector<cycle_t> pair_total_;
+  std::vector<cycle_t> pair_max_;
+  std::vector<cycle_t> pair_critical_;
+  // Per pair per window overlap, pair-major: wo_[pair * num_windows_ + m].
+  std::vector<cycle_t> wo_;
+  std::vector<bool> critical_targets_;
+};
+
+/// Cycles of same-cycle overlap between two sorted disjoint interval
+/// lists, restricted to [lo, hi). Exposed for testing.
+cycle_t interval_overlap(const std::vector<std::pair<cycle_t, cycle_t>>& a,
+                         const std::vector<std::pair<cycle_t, cycle_t>>& b,
+                         cycle_t lo, cycle_t hi);
+
+}  // namespace stx::traffic

@@ -1,0 +1,63 @@
+// Error types shared by all stxbar modules.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace stx {
+
+/// Base class for all errors raised by the stxbar library.
+///
+/// Thrown on API misuse (bad arguments, inconsistent model state) and on
+/// internal invariant violations. Recoverable outcomes that are part of
+/// normal operation (e.g. "this MILP is infeasible") are reported through
+/// status enums on the result types instead, never via exceptions.
+class error : public std::runtime_error {
+ public:
+  explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a caller passes arguments that violate a documented
+/// precondition (negative sizes, out-of-range ids, mismatched dimensions).
+class invalid_argument_error : public error {
+ public:
+  explicit invalid_argument_error(const std::string& what) : error(what) {}
+};
+
+/// Raised when an internal invariant is violated; indicates a bug in the
+/// library itself rather than in caller code.
+class internal_error : public error {
+ public:
+  explicit internal_error(const std::string& what) : error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail_require(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  throw invalid_argument_error(std::string(file) + ":" + std::to_string(line) +
+                               ": requirement failed: " + cond +
+                               (msg.empty() ? "" : " — " + msg));
+}
+[[noreturn]] inline void fail_ensure(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  throw internal_error(std::string(file) + ":" + std::to_string(line) +
+                       ": invariant failed: " + cond +
+                       (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+}  // namespace stx
+
+/// Precondition check: throws stx::invalid_argument_error when violated.
+#define STX_REQUIRE(cond, msg)                                  \
+  do {                                                          \
+    if (!(cond))                                                \
+      ::stx::detail::fail_require(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Internal invariant check: throws stx::internal_error when violated.
+#define STX_ENSURE(cond, msg)                                 \
+  do {                                                        \
+    if (!(cond))                                              \
+      ::stx::detail::fail_ensure(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,70 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace stx {
+
+flag_set::flag_set(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "";  // bare flag
+    }
+  }
+}
+
+bool flag_set::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string flag_set::get_string(const std::string& name,
+                                 const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t flag_set::get_int(const std::string& name,
+                               std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const auto v = std::strtoll(it->second.c_str(), &end, 10);
+  STX_REQUIRE(end != it->second.c_str() && *end == '\0',
+              "flag --" + name + " is not an integer: " + it->second);
+  return v;
+}
+
+double flag_set::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  STX_REQUIRE(end != it->second.c_str() && *end == '\0',
+              "flag --" + name + " is not a number: " + it->second);
+  return v;
+}
+
+bool flag_set::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  if (it->second.empty() || it->second == "true" || it->second == "1") {
+    return true;
+  }
+  if (it->second == "false" || it->second == "0") return false;
+  throw invalid_argument_error("flag --" + name +
+                               " is not a boolean: " + it->second);
+}
+
+}  // namespace stx

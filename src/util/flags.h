@@ -1,0 +1,37 @@
+// Minimal command-line flag parsing for examples and bench harnesses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stx {
+
+/// Parses `--name=value` / `--name value` / bare `--flag` arguments.
+///
+///     flag_set flags(argc, argv);
+///     const auto seed = flags.get_int("seed", 42);
+///     if (flags.has("verbose")) ...
+///
+/// Unrecognised positional arguments are kept in positional(). Lookup of a
+/// flag that was supplied with a non-parsable value throws.
+class flag_set {
+ public:
+  flag_set(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace stx

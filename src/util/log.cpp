@@ -1,0 +1,33 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace stx {
+
+namespace {
+std::atomic<log_level> g_level{log_level::warn};
+
+const char* level_name(log_level level) {
+  switch (level) {
+    case log_level::debug: return "DEBUG";
+    case log_level::info: return "INFO";
+    case log_level::warn: return "WARN";
+    case log_level::error: return "ERROR";
+    case log_level::off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(log_level level) { g_level.store(level); }
+log_level get_log_level() { return g_level.load(); }
+
+namespace detail {
+void log_emit(log_level level, const std::string& message) {
+  if (level < g_level.load()) return;
+  std::fprintf(stderr, "[stx %s] %s\n", level_name(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace stx

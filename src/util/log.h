@@ -1,0 +1,48 @@
+// Leveled logging with a global verbosity switch.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace stx {
+
+enum class log_level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Sets the minimum level that is emitted; defaults to warn so library
+/// internals stay quiet unless a harness opts in.
+void set_log_level(log_level level);
+log_level get_log_level();
+
+namespace detail {
+void log_emit(log_level level, const std::string& message);
+}
+
+/// Stream-style logger: `STX_LOG(info) << "windows=" << n;`
+/// The message is assembled only when the level is enabled.
+#define STX_LOG(level_name)                                            \
+  for (bool stx_log_once =                                             \
+           ::stx::get_log_level() <= ::stx::log_level::level_name;     \
+       stx_log_once; stx_log_once = false)                             \
+  ::stx::detail::log_line(::stx::log_level::level_name)
+
+namespace detail {
+class log_line {
+ public:
+  explicit log_line(log_level level) : level_(level) {}
+  ~log_line() { log_emit(level_, out_.str()); }
+  log_line(const log_line&) = delete;
+  log_line& operator=(const log_line&) = delete;
+
+  template <typename T>
+  log_line& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  log_level level_;
+  std::ostringstream out_;
+};
+}  // namespace detail
+
+}  // namespace stx

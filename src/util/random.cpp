@@ -1,0 +1,97 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace stx {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+rng::rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t s = seed;
+  for (auto& lane : state_) lane = splitmix64(s);
+}
+
+std::uint64_t rng::next_u64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  STX_REQUIRE(lo <= hi, "uniform_int bounds");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~std::uint64_t{0} / span) * span;
+  std::uint64_t r = next_u64();
+  while (r >= limit) r = next_u64();
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double rng::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double rng::uniform(double lo, double hi) {
+  STX_REQUIRE(lo <= hi, "uniform bounds");
+  return lo + (hi - lo) * uniform01();
+}
+
+bool rng::chance(double p) { return uniform01() < p; }
+
+std::int64_t rng::jitter(std::int64_t base, std::int64_t spread,
+                         std::int64_t min_value) {
+  STX_REQUIRE(spread >= 0, "jitter spread");
+  const std::int64_t v = base + uniform_int(-spread, spread);
+  return v < min_value ? min_value : v;
+}
+
+int rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    STX_REQUIRE(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  STX_REQUIRE(total > 0.0, "weighted_index needs a positive weight");
+  double point = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    point -= weights[i];
+    if (point < 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;  // fp round-off fallback
+}
+
+rng rng::split(std::uint64_t stream) const {
+  // Mix the parent seed with the stream id through splitmix64 so sibling
+  // streams don't share correlated lanes.
+  std::uint64_t s = seed_ ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  (void)splitmix64(s);
+  return rng(splitmix64(s));
+}
+
+}  // namespace stx

@@ -1,0 +1,123 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace stx {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char ch : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(ch)) || ch == '.' ||
+          ch == '-' || ch == '+' || ch == 'e' || ch == 'E' || ch == 'x' ||
+          ch == '%')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string format_double(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string format_ratio(double v, int precision) {
+  return format_double(v, precision) + "x";
+}
+
+table::table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  STX_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void table::add_row(std::vector<std::string> cells) {
+  STX_REQUIRE(cells.size() == headers_.size(),
+              "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+table& table::cell(const std::string& s) {
+  pending_.push_back(s);
+  return *this;
+}
+table& table::cell(const char* s) { return cell(std::string(s)); }
+table& table::cell(double v, int precision) {
+  return cell(format_double(v, precision));
+}
+table& table::cell(std::int64_t v) { return cell(std::to_string(v)); }
+table& table::cell(int v) { return cell(std::to_string(v)); }
+
+void table::end_row() {
+  add_row(pending_);
+  pending_.clear();
+}
+
+std::string table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " ");
+      const auto pad = widths[c] - row[c].size();
+      if (looks_numeric(row[c])) {
+        out << std::string(pad, ' ') << row[c];
+      } else {
+        out << row[c] << std::string(pad, ' ');
+      }
+      out << " |";
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string table::render_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ",";
+      out << csv_escape(row[c]);
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+}  // namespace stx

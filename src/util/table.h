@@ -1,0 +1,57 @@
+// ASCII table and CSV rendering for benchmark harness output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stx {
+
+/// Column-aligned ASCII table builder.
+///
+/// Bench harnesses use this to print paper-style tables:
+///
+///     table t({"Type", "Avg Lat", "Max Lat", "Size Ratio"});
+///     t.add_row({"shared", "35.1", "51", "1"});
+///     std::cout << t.render();
+///
+/// Numeric cells can be added through the typed helpers, which format
+/// with a fixed precision so columns line up.
+class table {
+ public:
+  explicit table(std::vector<std::string> headers);
+
+  /// Appends a fully formatted row. The row must have exactly as many
+  /// cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Row builder: accumulates typed cells, then call end_row().
+  table& cell(const std::string& s);
+  table& cell(const char* s);
+  table& cell(double v, int precision = 2);
+  table& cell(std::int64_t v);
+  table& cell(int v);
+  void end_row();
+
+  int rows() const { return static_cast<int>(rows_.size()); }
+  int cols() const { return static_cast<int>(headers_.size()); }
+
+  /// Renders with a header rule and right-aligned numeric-looking cells.
+  std::string render() const;
+
+  /// Renders as CSV (RFC-4180-ish; quotes cells containing separators).
+  std::string render_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> pending_;
+};
+
+/// Formats a double with `precision` digits after the point.
+std::string format_double(double v, int precision = 2);
+
+/// Formats `v` as a multiplicative factor, e.g. "3.50x".
+std::string format_ratio(double v, int precision = 2);
+
+}  // namespace stx

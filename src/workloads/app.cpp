@@ -1,0 +1,59 @@
+#include "workloads/app.h"
+
+#include "util/error.h"
+
+namespace stx::workloads {
+
+void app_spec::validate() const {
+  STX_REQUIRE(num_initiators > 0, "app needs initiators: " + name);
+  STX_REQUIRE(num_targets > 0, "app needs targets: " + name);
+  STX_REQUIRE(static_cast<int>(programs.size()) == num_initiators,
+              "one program per initiator required: " + name);
+  STX_REQUIRE(target_names.empty() ||
+                  static_cast<int>(target_names.size()) == num_targets,
+              "target_names size mismatch: " + name);
+  for (const auto& prog : programs) {
+    STX_REQUIRE(!prog.empty(), "empty core program: " + name);
+    for (const auto& op : prog) {
+      if (op.op != sim::core_op::kind::compute) {
+        STX_REQUIRE(op.target >= 0 && op.target < num_targets,
+                    "program references unknown target: " + name);
+      }
+    }
+  }
+  for (int pm : private_mem) {
+    STX_REQUIRE(pm >= 0 && pm < num_targets,
+                "private_mem out of range: " + name);
+  }
+  STX_REQUIRE(loop_starts.empty() || loop_starts.size() == programs.size(),
+              "loop_starts must be empty or one per core: " + name);
+  for (std::size_t i = 0; i < loop_starts.size(); ++i) {
+    STX_REQUIRE(loop_starts[i] < programs[i].size(),
+                "loop_start out of range: " + name);
+  }
+}
+
+sim::mpsoc_system make_system(const app_spec& app,
+                              const sim::crossbar_config& req,
+                              const sim::crossbar_config& resp,
+                              const sim::system_config& base) {
+  app.validate();
+  sim::system_config cfg = base;
+  cfg.request = req;
+  cfg.response = resp;
+  return sim::mpsoc_system(app.programs, app.num_targets, cfg,
+                           app.loop_starts);
+}
+
+sim::mpsoc_system make_full_crossbar_system(const app_spec& app,
+                                            const sim::system_config& base) {
+  auto req = sim::crossbar_config::full(app.num_targets);
+  auto resp = sim::crossbar_config::full(app.num_initiators);
+  req.policy = base.request.policy;
+  req.transfer_overhead = base.request.transfer_overhead;
+  resp.policy = base.response.policy;
+  resp.transfer_overhead = base.response.transfer_overhead;
+  return make_system(app, req, resp, base);
+}
+
+}  // namespace stx::workloads

@@ -1,0 +1,255 @@
+#include "workloads/mpsoc_apps.h"
+
+#include <string>
+
+namespace stx::workloads {
+
+namespace {
+
+using sim::core_op;
+using kind = sim::core_op::kind;
+
+core_op compute(sim::cycle_t cycles) {
+  core_op op;
+  op.op = kind::compute;
+  op.cycles = cycles;
+  return op;
+}
+
+core_op read(int target, int cells, bool critical = false) {
+  core_op op;
+  op.op = kind::read;
+  op.target = target;
+  op.cells = cells;
+  op.critical = critical;
+  return op;
+}
+
+core_op write(int target, int cells, bool critical = false) {
+  core_op op;
+  op.op = kind::write;
+  op.target = target;
+  op.cells = cells;
+  op.critical = critical;
+  return op;
+}
+
+core_op barrier(int sem_target, int barrier_id, int group_size) {
+  core_op op;
+  op.op = kind::barrier;
+  op.target = sem_target;
+  op.barrier_id = barrier_id;
+  op.group_size = group_size;
+  return op;
+}
+
+}  // namespace
+
+app_spec make_mat2() {
+  app_spec app;
+  app.name = "Mat2";
+  app.num_initiators = 9;
+  app.num_targets = 12;  // 9 private + shared + semaphore + interrupt
+  app.shared_mem = 9;
+  app.semaphore = 10;
+  app.interrupt_dev = 11;
+  for (int i = 0; i < 9; ++i) {
+    app.private_mem.push_back(i);
+    app.target_names.push_back("PrivateMemory" + std::to_string(i));
+  }
+  app.target_names.insert(app.target_names.end(),
+                          {"SharedMemory", "Semaphore", "InterruptDevice"});
+
+  for (int i = 0; i < 9; ++i) {
+    std::vector<core_op> prog;
+    std::size_t loop_start = 0;
+    // The multiply is pipelined in three stages of three cores each;
+    // stages run a third of a period out of phase (one-time prologue).
+    // Private-memory streams overlap heavily WITHIN a stage group and
+    // little across groups — the structure the binding phase exploits.
+    const int stage = i / 3;
+    if (stage > 0) {
+      prog.push_back(compute(345 * stage));
+      loop_start = 1;
+    }
+    // Pipelined block matrix multiply: load A and B blocks from private
+    // memory, multiply, store C, exchange a boundary block through the
+    // shared memory, then synchronise the pipeline stage.
+    prog.push_back(compute(15));
+    prog.push_back(read(i, 16));   // A block
+    prog.push_back(compute(30));
+    prog.push_back(read(i, 16));   // B block
+    prog.push_back(compute(45));   // multiply-accumulate
+    prog.push_back(write(i, 16));  // C block
+    prog.push_back(read(app.shared_mem, 8));   // neighbour stage input
+    prog.push_back(write(app.shared_mem, 8));  // stage output
+    prog.push_back(write(app.interrupt_dev, 1));  // completion signal
+    prog.push_back(barrier(app.semaphore, /*barrier_id=*/stage,
+                           /*group_size=*/3));
+    prog.push_back(compute(800));  // idle: await the next frame of blocks
+    app.programs.push_back(std::move(prog));
+    app.loop_starts.push_back(loop_start);
+  }
+  app.validate();
+  return app;
+}
+
+app_spec make_mat2_critical() {
+  app_spec app = make_mat2();
+  app.name = "Mat2-critical";
+  // Cores 0 and 1 carry real-time streams to their private memories (for
+  // example, a frame buffer refresh path): every access is critical.
+  for (int i : {0, 1}) {
+    for (auto& op : app.programs[static_cast<std::size_t>(i)]) {
+      if (op.op == kind::read || op.op == kind::write) {
+        if (op.target == i) op.critical = true;
+      }
+    }
+  }
+  return app;
+}
+
+app_spec make_mat1() {
+  app_spec app;
+  app.name = "Mat1";
+  app.num_initiators = 12;
+  app.num_targets = 13;  // 12 private + shared
+  app.shared_mem = 12;
+  for (int i = 0; i < 12; ++i) {
+    app.private_mem.push_back(i);
+    app.target_names.push_back("PrivateMemory" + std::to_string(i));
+  }
+  app.target_names.push_back("SharedMemory");
+
+  for (int i = 0; i < 12; ++i) {
+    std::vector<core_op> prog;
+    // Un-barriered matrix pipeline: phases drift apart, overlap is
+    // moderate; staggered start offsets avoid full lockstep.
+    prog.push_back(compute(15 + 11 * i % 60));
+    prog.push_back(read(i, 16));
+    prog.push_back(compute(45));
+    prog.push_back(read(i, 16));
+    prog.push_back(compute(60));
+    prog.push_back(write(i, 16));
+    if (i % 3 == 0) {
+      prog.push_back(read(app.shared_mem, 4));
+    } else {
+      prog.push_back(write(app.shared_mem, 4));
+    }
+    prog.push_back(compute(900));  // drain: next macro-block setup
+    app.programs.push_back(std::move(prog));
+  }
+  app.validate();
+  return app;
+}
+
+app_spec make_fft() {
+  app_spec app;
+  app.name = "FFT";
+  app.num_initiators = 14;
+  app.num_targets = 15;  // 14 private butterfly banks + shared exchange
+  app.shared_mem = 14;
+  for (int i = 0; i < 14; ++i) {
+    app.private_mem.push_back(i);
+    app.target_names.push_back("ButterflyBank" + std::to_string(i));
+  }
+  app.target_names.push_back("ExchangeMemory");
+
+  for (int i = 0; i < 14; ++i) {
+    std::vector<core_op> prog;
+    std::size_t loop_start = 0;
+    // Decimation structure: odd butterfly groups run half a stage out of
+    // phase with even groups (one-time prologue), so banks of the same
+    // parity stream together while opposite parities interleave.
+    if (i % 2 == 1) {
+      prog.push_back(compute(380));
+      loop_start = 1;
+    }
+    // One FFT stage: stream the bank in and out with short twiddle
+    // computes, exchange boundary points, then barrier to the next stage.
+    // Short computes + large transfers = high duty on every bank.
+    for (int pass = 0; pass < 2; ++pass) {
+      prog.push_back(compute(6));
+      prog.push_back(read(i, 60));   // load butterfly inputs
+      prog.push_back(compute(8));    // twiddle multiplies
+      prog.push_back(write(i, 60));  // store outputs
+    }
+    prog.push_back(write(app.shared_mem, 2));  // boundary exchange
+    // Stage barrier per parity group: even and odd groups each stay in
+    // lockstep internally while remaining half a stage apart.
+    prog.push_back(barrier(app.shared_mem, /*barrier_id=*/1 + i % 2,
+                           /*group_size=*/7));
+    prog.push_back(compute(400));  // stage bookkeeping / twiddle reload
+    app.programs.push_back(std::move(prog));
+    app.loop_starts.push_back(loop_start);
+  }
+  app.validate();
+  return app;
+}
+
+app_spec make_qsort() {
+  app_spec app;
+  app.name = "QSort";
+  app.num_initiators = 7;
+  app.num_targets = 8;  // 7 private partitions + shared pivot/stack
+  app.shared_mem = 7;
+  for (int i = 0; i < 7; ++i) {
+    app.private_mem.push_back(i);
+    app.target_names.push_back("Partition" + std::to_string(i));
+  }
+  app.target_names.push_back("PivotStack");
+
+  for (int i = 0; i < 7; ++i) {
+    std::vector<core_op> prog;
+    // Irregular divide and conquer: mixed transfer sizes and widely
+    // varying compute spans (the per-core jitter adds further variance).
+    prog.push_back(compute(8 + 37 * i % 40));
+    prog.push_back(read(app.shared_mem, 1));  // pop work item
+    prog.push_back(read(i, 96));              // load partition
+    prog.push_back(compute(20));              // partition scan
+    prog.push_back(write(i, 48));             // write left half
+    prog.push_back(compute(6));
+    prog.push_back(write(i, 48));             // write right half
+    prog.push_back(write(app.shared_mem, 1)); // push sub-problem
+    // Round synchronisation: all workers re-balance on the shared stack
+    // before the next round, which phase-aligns the partition streams.
+    prog.push_back(barrier(app.shared_mem, /*barrier_id=*/2,
+                           /*group_size=*/7));
+    prog.push_back(compute(500));  // idle: wait for new work items
+    app.programs.push_back(std::move(prog));
+  }
+  app.validate();
+  return app;
+}
+
+app_spec make_des() {
+  app_spec app;
+  app.name = "DES";
+  app.num_initiators = 9;
+  app.num_targets = 10;  // stream buffers between pipeline stages
+  for (int i = 0; i < 10; ++i) {
+    app.target_names.push_back("StreamBuffer" + std::to_string(i));
+  }
+  for (int i = 0; i < 9; ++i) app.private_mem.push_back(i);
+
+  for (int i = 0; i < 9; ++i) {
+    std::vector<core_op> prog;
+    // Stage i of the encryption pipeline: consume a block from buffer i,
+    // run the round function, emit to buffer i+1. The pipeline stages are
+    // naturally phase-shifted, so same-cycle overlap stays low.
+    prog.push_back(compute(12 + 23 * i % 40));  // stage skew
+    prog.push_back(read(i, 32));                // input block
+    prog.push_back(compute(45));                // 16 Feistel rounds
+    prog.push_back(write(i + 1, 32));           // output block
+    prog.push_back(compute(500));  // idle: next plaintext block arrives
+    app.programs.push_back(std::move(prog));
+  }
+  app.validate();
+  return app;
+}
+
+std::vector<app_spec> all_mpsoc_apps() {
+  return {make_mat1(), make_mat2(), make_fft(), make_qsort(), make_des()};
+}
+
+}  // namespace stx::workloads

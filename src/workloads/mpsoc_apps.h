@@ -1,0 +1,54 @@
+// The paper's five MPSoC case-study applications (Sec. 7.1), modelled as
+// closed-loop traffic programs.
+//
+// Core counts match the paper: Mat1 25, Mat2 21, FFT 29, QSort 15,
+// DES 19 (counting initiators + targets, which is also the total
+// full-crossbar bus count of Table 2). The programs reproduce each
+// benchmark's first-order traffic structure rather than its arithmetic:
+// what the synthesis consumes is burst layout, temporal overlap between
+// streams, and the private-vs-shared traffic split.
+#pragma once
+
+#include <vector>
+
+#include "workloads/app.h"
+
+namespace stx::workloads {
+
+/// Matrix suite 1: 12 ARM cores + 12 private memories + shared memory
+/// (25 cores). Pipelined block matrix multiply without global barriers:
+/// looser phase alignment than Mat2, moderate per-memory duty.
+app_spec make_mat1();
+
+/// Matrix suite 2 (the running example of Fig. 2): 9 ARM cores, 9 private
+/// memories, shared memory, semaphore, interrupt device (21 cores).
+/// Cores run identical pipelined matrix multiply benchmarks and
+/// synchronise every iteration, so private-memory streams overlap heavily
+/// (Sec. 3.2) while shared/semaphore/interrupt traffic stays light.
+app_spec make_mat2();
+
+/// FFT suite: 14 cores + 14 private memories + shared exchange memory
+/// (29 cores). Stage-barriered butterflies with large transfers and short
+/// computes: high duty on every memory, the hardest app to compact
+/// (paper designs 15 of 29 buses).
+app_spec make_fft();
+
+/// Quick-sort suite: 7 cores + 7 private memories + shared pivot/stack
+/// memory (15 cores). Irregular: widely jittered compute spans and mixed
+/// transfer sizes.
+app_spec make_qsort();
+
+/// DES encryption: 9 pipeline stage cores + 10 stream buffers (19 cores).
+/// Stage i reads buffer i and writes buffer i+1: smooth, phase-shifted
+/// streaming with little same-cycle overlap; compacts well.
+app_spec make_des();
+
+/// All five apps in paper order (Table 2 rows).
+std::vector<app_spec> all_mpsoc_apps();
+
+/// A variant of Mat2 where two cores' shared-memory streams are marked
+/// critical (real-time): exercises the criticality pre-processing of
+/// Sec. 7.3.
+app_spec make_mat2_critical();
+
+}  // namespace stx::workloads

@@ -1,0 +1,80 @@
+#include "workloads/synthetic.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.h"
+
+namespace stx::workloads {
+
+app_spec make_synthetic(const synthetic_params& params) {
+  STX_REQUIRE(params.num_cores >= 4 && params.num_cores % 2 == 0,
+              "synthetic benchmark needs an even core count >= 4");
+  STX_REQUIRE(params.burst_cycles > 0 && params.packet_cells > 0,
+              "burst/packet sizes must be positive");
+  STX_REQUIRE(params.read_fraction >= 0.0 && params.read_fraction <= 1.0,
+              "read_fraction out of [0,1]");
+
+  app_spec app;
+  app.name = "Synthetic" + std::to_string(params.num_cores);
+  app.num_initiators = params.num_cores / 2;
+  app.num_targets = params.num_cores / 2;
+  for (int t = 0; t < app.num_targets; ++t) {
+    app.target_names.push_back("Target" + std::to_string(t));
+    app.private_mem.push_back(t);
+  }
+
+  // Packets per burst such that the burst occupies ~burst_cycles of bus
+  // time (cells only; per-packet overhead stretches it slightly).
+  const int packets_per_burst = std::max<int>(
+      1, static_cast<int>(params.burst_cycles / params.packet_cells));
+  const int read_every =
+      params.read_fraction <= 0.0
+          ? 0
+          : std::max(1, static_cast<int>(1.0 / params.read_fraction));
+
+  for (int i = 0; i < app.num_initiators; ++i) {
+    std::vector<sim::core_op> prog;
+
+    // Stagger burst phases linearly via a one-time prologue: overlap of
+    // (core i, core j) then decays with |i - j|, giving the pairwise
+    // overlap gradient the threshold sweep needs. The loop body starts
+    // after the prologue so the stagger is stable across iterations.
+    const auto offset = static_cast<sim::cycle_t>(
+        static_cast<double>(i) * params.phase_spread *
+        static_cast<double>(params.burst_cycles));
+    std::size_t loop_start = 0;
+    if (offset > 0) {
+      sim::core_op warm;
+      warm.op = sim::core_op::kind::compute;
+      warm.cycles = offset;
+      prog.push_back(warm);
+      loop_start = 1;
+    }
+
+    for (int p = 0; p < packets_per_burst; ++p) {
+      sim::core_op op;
+      op.cells = params.packet_cells;
+      int dest = i;
+      if (params.cross_traffic && p % 4 == 3) {
+        dest = (i + 1) % app.num_targets;
+      }
+      op.target = dest;
+      const bool is_read = read_every > 0 && (p % read_every) == read_every - 1;
+      op.op = is_read ? sim::core_op::kind::read : sim::core_op::kind::write;
+      prog.push_back(op);
+    }
+
+    sim::core_op gap;
+    gap.op = sim::core_op::kind::compute;
+    gap.cycles = params.gap_cycles;
+    prog.push_back(gap);
+
+    app.programs.push_back(std::move(prog));
+    app.loop_starts.push_back(loop_start);
+  }
+  app.validate();
+  return app;
+}
+
+}  // namespace stx::workloads

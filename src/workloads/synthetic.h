@@ -1,0 +1,32 @@
+// Parametric synthetic benchmark (Sec. 7.2: window sizing experiments).
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/app.h"
+
+namespace stx::workloads {
+
+/// Knobs of the synthetic burst benchmark. Half the cores are initiators
+/// and half are targets; initiator i sends write bursts to target i with
+/// optional cross traffic to its neighbour target. Burst start phases are
+/// staggered linearly across cores, producing a *gradient* of pairwise
+/// overlaps: some target pairs overlap almost fully, some barely — which
+/// is what the overlap-threshold sweep (Fig. 6) needs to show structure.
+struct synthetic_params {
+  int num_cores = 20;            ///< total cores; initiators = targets = half
+  sim::cycle_t burst_cycles = 1000;  ///< approx bus-busy cycles per burst
+  int packet_cells = 16;         ///< cells per write packet inside a burst
+  sim::cycle_t gap_cycles = 2600;    ///< idle span between bursts
+  double phase_spread = 0.35;    ///< fraction of burst between neighbours'
+                                 ///< start phases (0 = lockstep)
+  double read_fraction = 0.25;   ///< fraction of burst packets that read
+                                 ///< (loads the response direction too)
+  bool cross_traffic = true;     ///< every 4th packet goes to neighbour
+};
+
+/// Builds the synthetic app. Deterministic; the burst phase of core i is
+/// offset by i * phase_spread * burst_cycles.
+app_spec make_synthetic(const synthetic_params& params = {});
+
+}  // namespace stx::workloads

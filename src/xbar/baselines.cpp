@@ -1,0 +1,51 @@
+#include "xbar/baselines.h"
+
+#include "traffic/windows.h"
+#include "util/error.h"
+
+namespace stx::xbar {
+
+crossbar_design design_average_traffic(const traffic::trace& t,
+                                       int max_targets_per_bus) {
+  synthesis_options opts;
+  // One window over the entire simulation: only aggregate bandwidth
+  // matters. No overlap conflicts, no criticality separation; binding
+  // optimisation has nothing meaningful to minimise across identical
+  // aggregate flows but is kept for determinism.
+  opts.params.window_size = std::max<cycle_t>(t.horizon(), 1);
+  opts.params.use_overlap_conflicts = false;
+  opts.params.separate_critical = false;
+  opts.params.max_targets_per_bus = max_targets_per_bus;
+  opts.params.overlap_threshold = 1.0;  // never triggers
+  return synthesize_from_trace(t, opts);
+}
+
+crossbar_design design_peak_contention_free(const traffic::trace& t,
+                                            cycle_t window_size) {
+  synthesis_options opts;
+  opts.params.window_size = window_size;
+  // Threshold 0: one overlapping cycle in any window forces separation —
+  // the "eliminate contention" extreme of the design spectrum.
+  opts.params.overlap_threshold = 0.0;
+  opts.params.use_overlap_conflicts = true;
+  opts.params.separate_critical = true;
+  opts.params.max_targets_per_bus = 0;  // unconstrained: conflicts rule
+  return synthesize_from_trace(t, opts);
+}
+
+crossbar_design rebind_randomly(const synthesis_input& input,
+                                const crossbar_design& design,
+                                std::uint64_t seed) {
+  const auto binding =
+      find_random_feasible_binding(input, design.num_buses, seed);
+  STX_REQUIRE(binding.has_value(),
+              "random rebinding failed on a feasible configuration");
+  crossbar_design out = design;
+  out.binding = *binding;
+  out.max_overlap = input.max_bus_overlap(out.binding, out.num_buses);
+  out.binding_optimal = false;
+  out.binding_nodes = 0;
+  return out;
+}
+
+}  // namespace stx::xbar

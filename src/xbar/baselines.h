@@ -1,0 +1,31 @@
+// Baseline design approaches the paper compares against (Sec. 2, 7).
+#pragma once
+
+#include <cstdint>
+
+#include "traffic/trace.h"
+#include "xbar/synthesis.h"
+
+namespace stx::xbar {
+
+/// "Previous approaches" baseline (Figs. 4a/4b): design from average
+/// communication flows only — a single analysis window spanning the whole
+/// simulation and no overlap constraints. Captures aggregate bandwidth
+/// but none of the local variation or temporal overlap.
+crossbar_design design_average_traffic(const traffic::trace& t,
+                                       int max_targets_per_bus = 0);
+
+/// Peak/contention-free baseline (Ho & Pinkston style, discussed in
+/// Sec. 2): any two streams that EVER overlap in the same cycle get
+/// separate buses. Eliminates contention but over-sizes the crossbar.
+crossbar_design design_peak_contention_free(const traffic::trace& t,
+                                            cycle_t window_size);
+
+/// Random-binding baseline (Sec. 7.3): the same bus count as `design`
+/// but a random feasible binding (satisfying Eq. 3-9) instead of the
+/// overlap-minimising one. Distinct seeds give distinct bindings.
+crossbar_design rebind_randomly(const synthesis_input& input,
+                                const crossbar_design& design,
+                                std::uint64_t seed);
+
+}  // namespace stx::xbar

@@ -1,0 +1,363 @@
+#include "xbar/bb_solver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/error.h"
+#include "util/random.h"
+
+namespace stx::xbar {
+
+namespace {
+
+constexpr cycle_t kNoIncumbent = std::numeric_limits<cycle_t>::max();
+
+/// Shared DFS engine for feasibility / optimisation / random binding.
+class xbar_search {
+ public:
+  enum class mode { feasibility, optimize, random };
+
+  xbar_search(const synthesis_input& input, int num_buses, mode m,
+              const solver_options& opts, std::uint64_t seed)
+      : input_(input),
+        num_buses_(num_buses),
+        mode_(m),
+        opts_(opts),
+        rng_(seed) {
+    const int T = input.num_targets();
+
+    // Hardest-first target order: high peak demand and high conflict
+    // degree first (fail-first keeps the tree small). Random mode keeps
+    // a shuffled order instead.
+    order_.resize(static_cast<std::size_t>(T));
+    std::iota(order_.begin(), order_.end(), 0);
+    if (mode_ == mode::random) {
+      rng_.shuffle(order_);
+    } else {
+      std::vector<double> score(static_cast<std::size_t>(T), 0.0);
+      for (int i = 0; i < T; ++i) {
+        double s = 0.0;
+        for (int m2 = 0; m2 < input.num_windows(); ++m2) {
+          s += static_cast<double>(input.comm(i, m2));
+        }
+        int deg = 0;
+        for (int j = 0; j < T; ++j) {
+          if (j != i && input.conflict(i, j)) ++deg;
+        }
+        score[static_cast<std::size_t>(i)] =
+            s + static_cast<double>(deg) *
+                    static_cast<double>(input.window_size());
+      }
+      std::stable_sort(order_.begin(), order_.end(), [&](int a, int b) {
+        return score[static_cast<std::size_t>(a)] >
+               score[static_cast<std::size_t>(b)];
+      });
+    }
+
+    // Sparse per-target window demands.
+    demand_.resize(static_cast<std::size_t>(T));
+    for (int i = 0; i < T; ++i) {
+      for (int m2 = 0; m2 < input.num_windows(); ++m2) {
+        const cycle_t c = input.comm(i, m2);
+        if (c > 0) {
+          demand_[static_cast<std::size_t>(i)].emplace_back(m2, c);
+        }
+      }
+    }
+
+    load_.assign(static_cast<std::size_t>(num_buses_),
+                 std::vector<cycle_t>(
+                     static_cast<std::size_t>(input.num_windows()), 0));
+    members_.assign(static_cast<std::size_t>(num_buses_), {});
+    bus_overlap_.assign(static_cast<std::size_t>(num_buses_), 0);
+    binding_.assign(static_cast<std::size_t>(T), -1);
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  /// Runs the search; returns true when an answer (sat or proven unsat)
+  /// was reached within limits.
+  bool run() {
+    found_ = dfs(0, 0);
+    return !limit_hit_;
+  }
+
+  bool found() const { return found_ || !best_binding_.empty(); }
+  const std::vector<int>& best_binding() const { return best_binding_; }
+  cycle_t best_overlap() const { return best_overlap_; }
+  std::int64_t nodes() const { return nodes_; }
+  bool complete() const { return !limit_hit_; }
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  bool out_of_budget() {
+    if (nodes_ >= opts_.max_nodes) return true;
+    if ((nodes_ & 0x3ff) == 0 && opts_.time_limit_sec > 0.0 &&
+        seconds() > opts_.time_limit_sec) {
+      return true;
+    }
+    return false;
+  }
+
+  /// Current maximum per-bus overlap (the running Eq. 11 objective).
+  cycle_t current_max_overlap() const {
+    cycle_t best = 0;
+    for (cycle_t v : bus_overlap_) best = std::max(best, v);
+    return best;
+  }
+
+  /// Overlap this target would add to bus k (sum of om with members).
+  cycle_t overlap_delta(int target, int k) const {
+    cycle_t acc = 0;
+    for (int m : members_[static_cast<std::size_t>(k)]) {
+      acc += input_.om(target, m);
+    }
+    return acc;
+  }
+
+  bool placement_ok(int target, int k) const {
+    const int maxtb = input_.params().max_targets_per_bus;
+    if (maxtb > 0 &&
+        static_cast<int>(members_[static_cast<std::size_t>(k)].size()) >=
+            maxtb) {
+      return false;
+    }
+    for (int m : members_[static_cast<std::size_t>(k)]) {
+      if (input_.conflict(target, m)) return false;
+    }
+    for (const auto& [w, c] : demand_[static_cast<std::size_t>(target)]) {
+      if (load_[static_cast<std::size_t>(k)][static_cast<std::size_t>(w)] +
+              c >
+          input_.capacity(w)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void place(int target, int k) {
+    binding_[static_cast<std::size_t>(target)] = k;
+    bus_overlap_[static_cast<std::size_t>(k)] += overlap_delta(target, k);
+    members_[static_cast<std::size_t>(k)].push_back(target);
+    for (const auto& [w, c] : demand_[static_cast<std::size_t>(target)]) {
+      load_[static_cast<std::size_t>(k)][static_cast<std::size_t>(w)] += c;
+    }
+  }
+
+  void unplace(int target, int k) {
+    members_[static_cast<std::size_t>(k)].pop_back();
+    bus_overlap_[static_cast<std::size_t>(k)] -= overlap_delta(target, k);
+    for (const auto& [w, c] : demand_[static_cast<std::size_t>(target)]) {
+      load_[static_cast<std::size_t>(k)][static_cast<std::size_t>(w)] -= c;
+    }
+    binding_[static_cast<std::size_t>(target)] = -1;
+  }
+
+  /// `used` = number of buses currently holding at least one target.
+  bool dfs(std::size_t depth, int used) {
+    if (out_of_budget()) {
+      limit_hit_ = true;
+      return false;
+    }
+    ++nodes_;
+
+    if (depth == order_.size()) {
+      if (mode_ == mode::optimize) {
+        const cycle_t obj = current_max_overlap();
+        if (obj < best_overlap_) {
+          best_overlap_ = obj;
+          best_binding_ = binding_;
+        }
+        return false;  // keep searching for better bindings
+      }
+      best_binding_ = binding_;
+      best_overlap_ = current_max_overlap();
+      return true;  // feasibility / random: first solution wins
+    }
+
+    const int target = order_[depth];
+    // Symmetry breaking: existing buses plus at most one fresh bus.
+    const int reach = std::min(used + 1, num_buses_);
+    std::vector<int> candidates;
+    candidates.reserve(static_cast<std::size_t>(reach));
+    for (int k = 0; k < reach; ++k) candidates.push_back(k);
+
+    if (mode_ == mode::random) {
+      rng_.shuffle(candidates);
+    } else if (mode_ == mode::optimize) {
+      // Cheapest-overlap-first child order finds tight incumbents early.
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [&](int a, int b) {
+                         return overlap_delta(target, a) <
+                                overlap_delta(target, b);
+                       });
+    }
+
+    for (int k : candidates) {
+      if (!placement_ok(target, k)) continue;
+      if (mode_ == mode::optimize) {
+        // Bound: max overlap only grows as targets are added.
+        const cycle_t next =
+            bus_overlap_[static_cast<std::size_t>(k)] +
+            overlap_delta(target, k);
+        if (std::max(current_max_overlap(), next) >= best_overlap_) {
+          continue;
+        }
+      }
+      place(target, k);
+      const int next_used =
+          used + (members_[static_cast<std::size_t>(k)].size() == 1 ? 1 : 0);
+      if (dfs(depth + 1, next_used)) return true;
+      unplace(target, k);
+      if (limit_hit_) return false;
+    }
+    return false;
+  }
+
+  const synthesis_input& input_;
+  int num_buses_;
+  mode mode_;
+  solver_options opts_;
+  rng rng_;
+
+  std::vector<int> order_;
+  std::vector<std::vector<std::pair<int, cycle_t>>> demand_;
+  std::vector<std::vector<cycle_t>> load_;
+  std::vector<std::vector<int>> members_;
+  std::vector<cycle_t> bus_overlap_;
+  std::vector<int> binding_;
+
+  std::vector<int> best_binding_;
+  cycle_t best_overlap_ = kNoIncumbent;
+  bool found_ = false;
+  bool limit_hit_ = false;
+  std::int64_t nodes_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+void fill_stats(const xbar_search& search, solve_stats* stats) {
+  if (stats == nullptr) return;
+  stats->nodes = search.nodes();
+  stats->complete = search.complete();
+  stats->seconds = search.seconds();
+}
+
+}  // namespace
+
+int lower_bound_buses(const synthesis_input& input) {
+  const int T = input.num_targets();
+  int lb = 1;
+
+  // Bandwidth: every window's total demand must fit in B buses.
+  for (int m = 0; m < input.num_windows(); ++m) {
+    cycle_t total = 0;
+    for (int i = 0; i < T; ++i) total += input.comm(i, m);
+    const auto need = static_cast<int>(
+        (total + input.capacity(m) - 1) / input.capacity(m));
+    lb = std::max(lb, need);
+  }
+
+  // Cardinality (Eq. 8).
+  const int maxtb = input.params().max_targets_per_bus;
+  if (maxtb > 0) lb = std::max(lb, (T + maxtb - 1) / maxtb);
+
+  // Conflict clique (greedy): every clique member needs its own bus.
+  std::vector<int> degree(static_cast<std::size_t>(T), 0);
+  for (int i = 0; i < T; ++i) {
+    for (int j = 0; j < T; ++j) {
+      if (i != j && input.conflict(i, j)) {
+        ++degree[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  std::vector<int> by_degree(static_cast<std::size_t>(T));
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(), [&](int a, int b) {
+    return degree[static_cast<std::size_t>(a)] >
+           degree[static_cast<std::size_t>(b)];
+  });
+  std::vector<int> clique;
+  for (int v : by_degree) {
+    bool joins = true;
+    for (int u : clique) {
+      if (!input.conflict(u, v)) {
+        joins = false;
+        break;
+      }
+    }
+    if (joins) clique.push_back(v);
+  }
+  lb = std::max(lb, static_cast<int>(clique.size()));
+  return std::min(lb, std::max(T, 1));
+}
+
+std::optional<std::vector<int>> find_feasible_binding(
+    const synthesis_input& input, int num_buses, const solver_options& opts,
+    solve_stats* stats) {
+  STX_REQUIRE(num_buses >= 1, "need at least one bus");
+  if (lower_bound_buses(input) > num_buses) {
+    if (stats != nullptr) *stats = {0, true, 0.0};
+    return std::nullopt;  // proven infeasible without search
+  }
+  xbar_search search(input, num_buses, xbar_search::mode::feasibility, opts,
+                     /*seed=*/1);
+  const bool answered = search.run();
+  fill_stats(search, stats);
+  STX_REQUIRE(answered, "feasibility search hit limits; raise solver_options");
+  if (!search.found()) return std::nullopt;
+  auto binding = search.best_binding();
+  STX_ENSURE(input.binding_feasible(binding, num_buses),
+             "solver produced an infeasible binding");
+  return binding;
+}
+
+std::optional<binding_solution> find_min_overlap_binding(
+    const synthesis_input& input, int num_buses, const solver_options& opts,
+    solve_stats* stats) {
+  STX_REQUIRE(num_buses >= 1, "need at least one bus");
+  if (lower_bound_buses(input) > num_buses) {
+    if (stats != nullptr) *stats = {0, true, 0.0};
+    return std::nullopt;
+  }
+  xbar_search search(input, num_buses, xbar_search::mode::optimize, opts,
+                     /*seed=*/1);
+  search.run();
+  fill_stats(search, stats);
+  if (!search.found()) {
+    STX_REQUIRE(search.complete(),
+                "binding search hit limits before any solution; raise "
+                "solver_options");
+    return std::nullopt;
+  }
+  binding_solution out;
+  out.binding = search.best_binding();
+  out.max_overlap = search.best_overlap();
+  out.proven_optimal = search.complete();
+  STX_ENSURE(input.binding_feasible(out.binding, num_buses),
+             "solver produced an infeasible binding");
+  STX_ENSURE(input.max_bus_overlap(out.binding, num_buses) ==
+                 out.max_overlap,
+             "objective bookkeeping diverged from recomputation");
+  return out;
+}
+
+std::optional<std::vector<int>> find_random_feasible_binding(
+    const synthesis_input& input, int num_buses, std::uint64_t seed,
+    const solver_options& opts) {
+  STX_REQUIRE(num_buses >= 1, "need at least one bus");
+  if (lower_bound_buses(input) > num_buses) return std::nullopt;
+  xbar_search search(input, num_buses, xbar_search::mode::random, opts,
+                     seed);
+  const bool answered = search.run();
+  STX_REQUIRE(answered, "random binding search hit limits");
+  if (!search.found()) return std::nullopt;
+  return search.best_binding();
+}
+
+}  // namespace stx::xbar

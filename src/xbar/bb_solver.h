@@ -1,0 +1,66 @@
+// Specialised exact solver for the crossbar binding model.
+//
+// Solves the same model as the paper's MILPs (Eq. 3-9 feasibility and the
+// Eq. 11 min-max-overlap binding) with a dedicated branch & bound:
+// targets are assigned to buses hardest-first, with window-bandwidth /
+// conflict / cardinality propagation and bus-symmetry breaking. Exact —
+// property tests cross-check it against the generic MILP path — but
+// orders of magnitude faster, which is what the benches use.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "xbar/problem.h"
+
+namespace stx::xbar {
+
+/// Search limits. The defaults are far above what the paper-scale
+/// instances (|T| <= 32) need.
+struct solver_options {
+  std::int64_t max_nodes = 20'000'000;
+  double time_limit_sec = 60.0;
+};
+
+/// Search telemetry.
+struct solve_stats {
+  std::int64_t nodes = 0;
+  bool complete = true;  ///< search ran to proof (not stopped by limits)
+  double seconds = 0.0;
+};
+
+/// Feasibility (MILP 10 equivalent): find any binding of targets onto
+/// `num_buses` buses satisfying Eq. 3-9, or prove none exists.
+/// Returns nullopt on proven infeasibility. Throws if limits were hit
+/// before an answer (stats->complete false tells the caller why).
+std::optional<std::vector<int>> find_feasible_binding(
+    const synthesis_input& input, int num_buses,
+    const solver_options& opts = {}, solve_stats* stats = nullptr);
+
+/// Optimal binding (MILP 11 equivalent): minimize the maximum per-bus
+/// summed pairwise overlap subject to Eq. 3-9.
+struct binding_solution {
+  std::vector<int> binding;
+  cycle_t max_overlap = 0;
+  bool proven_optimal = true;
+};
+std::optional<binding_solution> find_min_overlap_binding(
+    const synthesis_input& input, int num_buses,
+    const solver_options& opts = {}, solve_stats* stats = nullptr);
+
+/// A *random* feasible binding (Sec. 7.3's random-binding baseline):
+/// randomised DFS that still honours Eq. 3-9. Distinct seeds give
+/// different bindings. Returns nullopt on proven infeasibility.
+std::optional<std::vector<int>> find_random_feasible_binding(
+    const synthesis_input& input, int num_buses, std::uint64_t seed,
+    const solver_options& opts = {});
+
+/// Cheap lower bound on the feasible bus count, used to seed the binary
+/// search and to fail infeasible probes without search:
+///  * bandwidth: ceil(max_m sum_i comm[i][m] / WS)
+///  * cardinality: ceil(T / maxtb)
+///  * conflicts: a greedily grown clique in the conflict graph
+int lower_bound_buses(const synthesis_input& input);
+
+}  // namespace stx::xbar

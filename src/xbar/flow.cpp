@@ -1,0 +1,106 @@
+#include "xbar/flow.h"
+
+#include "util/error.h"
+
+namespace stx::xbar {
+
+namespace {
+
+validation_metrics measure(const sim::mpsoc_system& system) {
+  validation_metrics out;
+  const auto lat = system.packet_latency();
+  if (lat.count() > 0) {
+    out.avg_latency = lat.mean();
+    out.max_latency = lat.max();
+    out.p99_latency = lat.keeps_samples() ? lat.percentile(0.99) : lat.max();
+  }
+  const auto crit = system.critical_packet_latency();
+  if (crit.count() > 0) {
+    out.avg_critical = crit.mean();
+    out.max_critical = crit.max();
+  }
+  out.packets = lat.count();
+  out.transactions = system.total_transactions();
+  out.iterations = system.total_iterations();
+  out.total_buses = system.request_crossbar().num_buses() +
+                    system.response_crossbar().num_buses();
+  return out;
+}
+
+sim::system_config base_system_config(const flow_options& opts,
+                                      bool record_traces) {
+  sim::system_config cfg;
+  cfg.record_traces = record_traces;
+  cfg.keep_latency_samples = true;
+  cfg.seed = opts.seed;
+  cfg.request.policy = opts.policy;
+  cfg.request.transfer_overhead = opts.transfer_overhead;
+  cfg.response.policy = opts.policy;
+  cfg.response.transfer_overhead = opts.transfer_overhead;
+  return cfg;
+}
+
+}  // namespace
+
+collected_traces collect_traces(const workloads::app_spec& app,
+                                const flow_options& opts) {
+  auto base = base_system_config(opts, /*record_traces=*/true);
+  auto system = workloads::make_full_crossbar_system(app, base);
+  system.run(opts.horizon);
+  return {system.request_trace(), system.response_trace()};
+}
+
+validation_metrics validate_configuration(const workloads::app_spec& app,
+                                          const sim::crossbar_config& req,
+                                          const sim::crossbar_config& resp,
+                                          const flow_options& opts) {
+  auto base = base_system_config(opts, /*record_traces=*/false);
+  auto system = workloads::make_system(app, req, resp, base);
+  system.run(opts.horizon);
+  return measure(system);
+}
+
+flow_report run_design_flow(const workloads::app_spec& app,
+                            const flow_options& opts) {
+  app.validate();
+  flow_report report;
+  report.app_name = app.name;
+
+  // ---- Phase 1: cycle-accurate simulation with full crossbars.
+  const auto traces = collect_traces(app, opts);
+
+  // ---- Phases 2+3: window analysis, pre-processing, synthesis — run
+  // independently per direction, as the paper does.
+  synthesis_options req_opts = opts.synth;
+  if (opts.request_window_override > 0) {
+    req_opts.params.window_size = opts.request_window_override;
+  }
+  synthesis_options resp_opts = opts.synth;
+  if (opts.response_window_override > 0) {
+    resp_opts.params.window_size = opts.response_window_override;
+  }
+  report.request_design = synthesize_from_trace(traces.request, req_opts);
+  report.response_design = synthesize_from_trace(traces.response, resp_opts);
+
+  // ---- Phase 4: validation simulations.
+  const auto req_cfg = report.request_design.to_config(
+      opts.policy, opts.transfer_overhead);
+  const auto resp_cfg = report.response_design.to_config(
+      opts.policy, opts.transfer_overhead);
+  report.designed = validate_configuration(app, req_cfg, resp_cfg, opts);
+
+  auto full_req = sim::crossbar_config::full(app.num_targets);
+  full_req.policy = opts.policy;
+  full_req.transfer_overhead = opts.transfer_overhead;
+  auto full_resp = sim::crossbar_config::full(app.num_initiators);
+  full_resp.policy = opts.policy;
+  full_resp.transfer_overhead = opts.transfer_overhead;
+  report.full = validate_configuration(app, full_req, full_resp, opts);
+
+  report.full_buses = app.total_cores();
+  report.designed_buses =
+      report.request_design.num_buses + report.response_design.num_buses;
+  return report;
+}
+
+}  // namespace stx::xbar

@@ -1,0 +1,80 @@
+// End-to-end design flow (paper Fig. 3): full-crossbar simulation ->
+// window analysis & pre-processing -> synthesis -> validation simulation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/app.h"
+#include "xbar/baselines.h"
+#include "xbar/synthesis.h"
+
+namespace stx::xbar {
+
+/// Latency metrics of one validation simulation (phase 4).
+struct validation_metrics {
+  double avg_latency = 0.0;   ///< mean packet latency, both crossbars
+  double max_latency = 0.0;
+  double p99_latency = 0.0;
+  double avg_critical = 0.0;  ///< mean latency of critical packets (0 if none)
+  double max_critical = 0.0;
+  std::int64_t packets = 0;
+  std::int64_t transactions = 0;
+  std::int64_t iterations = 0;  ///< completed core loop iterations
+  int total_buses = 0;          ///< request + response bus count
+};
+
+/// Flow knobs.
+struct flow_options {
+  /// Cycles simulated for trace collection (phase 1) and for each
+  /// validation run (phase 4).
+  traffic::cycle_t horizon = 120'000;
+  /// Synthesis settings applied to BOTH directions (the window size may
+  /// be overridden per direction via request/response overrides below).
+  synthesis_options synth;
+  /// Optional per-direction parameter overrides (<=0 / negative values
+  /// mean "use synth.params").
+  traffic::cycle_t request_window_override = 0;
+  traffic::cycle_t response_window_override = 0;
+  /// Simulator settings shared by all runs.
+  sim::arbitration policy = sim::arbitration::round_robin;
+  traffic::cycle_t transfer_overhead = 2;
+  std::uint64_t seed = 1;
+};
+
+/// Everything the flow produced for one application.
+struct flow_report {
+  std::string app_name;
+  crossbar_design request_design;   ///< initiator->target crossbar
+  crossbar_design response_design;  ///< target->initiator crossbar
+  validation_metrics designed;      ///< the synthesised partial crossbars
+  validation_metrics full;          ///< full crossbars reference
+  int full_buses = 0;               ///< total buses of the full config
+  int designed_buses = 0;           ///< total buses of the design
+
+  double savings() const {
+    return static_cast<double>(full_buses) /
+           static_cast<double>(designed_buses);
+  }
+};
+
+/// Runs phases 1-4 for `app` and returns the report. Deterministic for a
+/// given (app, options) pair.
+flow_report run_design_flow(const workloads::app_spec& app,
+                            const flow_options& opts);
+
+/// Phase 4 only: simulate `app` on explicit crossbar configs and measure.
+validation_metrics validate_configuration(const workloads::app_spec& app,
+                                          const sim::crossbar_config& req,
+                                          const sim::crossbar_config& resp,
+                                          const flow_options& opts);
+
+/// Collects the functional traffic traces of phase 1 (full crossbars).
+struct collected_traces {
+  traffic::trace request;   ///< events keyed by target id
+  traffic::trace response;  ///< events keyed by initiator id
+};
+collected_traces collect_traces(const workloads::app_spec& app,
+                                const flow_options& opts);
+
+}  // namespace stx::xbar

@@ -1,0 +1,61 @@
+// Paper-faithful MILP formulation (Eq. 3-9 feasibility, Eq. 11 binding).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "milp/branch_bound.h"
+#include "milp/model.h"
+#include "xbar/problem.h"
+
+namespace stx::xbar {
+
+/// A built MILP plus the variable index maps needed to decode solutions.
+struct xbar_milp {
+  milp::model model;
+  int num_targets = 0;
+  int num_buses = 0;
+  /// x[i][k] variable index (Definition 3).
+  std::vector<std::vector<int>> x;
+  /// sb[(i,j)][k] variable index for unordered pairs i<j (Definition 4).
+  std::vector<std::vector<int>> sb;
+  /// s[(i,j)] variable index.
+  std::vector<int> s;
+  /// maxov variable (only in the binding model; -1 otherwise).
+  int maxov = -1;
+
+  /// Flattened unordered pair index for i < j.
+  int pair_index(int i, int j) const;
+
+  /// Reads the binding vector out of a solved variable assignment.
+  std::vector<int> decode_binding(const std::vector<double>& solution) const;
+};
+
+/// Builds the feasibility MILP (10): Eq. 3-9 with no objective.
+xbar_milp build_feasibility_milp(const synthesis_input& input,
+                                 int num_buses);
+
+/// Builds the binding MILP (11): minimize maxov subject to per-bus
+/// overlap rows and Eq. 3-9. The per-bus overlap sums unordered pairs
+/// (see DESIGN.md interpretation notes).
+xbar_milp build_binding_milp(const synthesis_input& input, int num_buses);
+
+/// Convenience: solve the feasibility MILP; returns the binding or
+/// nullopt when proven infeasible. Throws if the solver hits its limits
+/// without an answer (callers pick limits generously for the small
+/// instances this path is used on).
+std::optional<std::vector<int>> solve_feasibility_milp(
+    const synthesis_input& input, int num_buses,
+    const milp::bb_options& opts = {});
+
+/// Convenience: solve the binding MILP to optimality; returns binding +
+/// achieved maxov, or nullopt when infeasible.
+struct milp_binding_result {
+  std::vector<int> binding;
+  cycle_t max_overlap = 0;
+};
+std::optional<milp_binding_result> solve_binding_milp(
+    const synthesis_input& input, int num_buses,
+    const milp::bb_options& opts = {});
+
+}  // namespace stx::xbar

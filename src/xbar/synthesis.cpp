@@ -1,0 +1,138 @@
+#include "xbar/synthesis.h"
+
+#include <sstream>
+
+#include "traffic/windows.h"
+#include "util/error.h"
+#include "xbar/milp_formulation.h"
+
+namespace stx::xbar {
+
+sim::crossbar_config crossbar_design::to_config(
+    sim::arbitration policy, cycle_t transfer_overhead) const {
+  auto cfg = sim::crossbar_config::partial(num_buses, binding);
+  cfg.policy = policy;
+  cfg.transfer_overhead = transfer_overhead;
+  cfg.validate(num_targets);
+  return cfg;
+}
+
+std::string crossbar_design::to_string() const {
+  std::ostringstream out;
+  out << "crossbar_design{buses=" << num_buses << "/" << num_targets
+      << ", maxov=" << max_overlap
+      << (binding_optimal ? "" : " (not proven optimal)") << ", binding=[";
+  for (std::size_t i = 0; i < binding.size(); ++i) {
+    if (i > 0) out << ",";
+    out << binding[i];
+  }
+  out << "]}";
+  return out.str();
+}
+
+namespace {
+
+/// One feasibility probe with the selected engine.
+bool probe_feasible(const synthesis_input& input, int num_buses,
+                    const synthesis_options& opts,
+                    std::int64_t* nodes_acc) {
+  if (opts.solver == solver_kind::specialized) {
+    solve_stats stats;
+    const auto res =
+        find_feasible_binding(input, num_buses, opts.limits, &stats);
+    if (nodes_acc != nullptr) *nodes_acc += stats.nodes;
+    return res.has_value();
+  }
+  milp::bb_options mo;
+  mo.time_limit_sec = opts.limits.time_limit_sec;
+  return solve_feasibility_milp(input, num_buses, mo).has_value();
+}
+
+}  // namespace
+
+int min_feasible_buses(const synthesis_input& input,
+                       const synthesis_options& opts, int* probes) {
+  int lo = lower_bound_buses(input);
+  int hi = input.num_targets();
+  STX_ENSURE(lo <= hi, "bus lower bound above target count");
+
+  // A full configuration (one target per bus) always satisfies Eq. 3-9:
+  // comm <= WS within a window by construction, no sharing. Binary search
+  // on the monotone predicate "feasible with k buses".
+  int count = 0;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    ++count;
+    if (probe_feasible(input, mid, opts, nullptr)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (probes != nullptr) *probes = count;
+  return lo;
+}
+
+crossbar_design synthesize(const synthesis_input& input,
+                           const synthesis_options& opts) {
+  crossbar_design out;
+  out.num_targets = input.num_targets();
+  out.params = input.params();
+
+  out.num_buses = min_feasible_buses(input, opts, &out.probes);
+
+  if (opts.solver == solver_kind::specialized) {
+    if (opts.optimize_binding) {
+      solve_stats stats;
+      const auto sol = find_min_overlap_binding(input, out.num_buses,
+                                                opts.limits, &stats);
+      STX_ENSURE(sol.has_value(),
+                 "binding infeasible at the proven-feasible bus count");
+      out.binding = sol->binding;
+      out.max_overlap = sol->max_overlap;
+      out.binding_optimal = sol->proven_optimal;
+      out.binding_nodes = stats.nodes;
+    } else {
+      solve_stats stats;
+      const auto sol =
+          find_feasible_binding(input, out.num_buses, opts.limits, &stats);
+      STX_ENSURE(sol.has_value(),
+                 "binding infeasible at the proven-feasible bus count");
+      out.binding = *sol;
+      out.max_overlap = input.max_bus_overlap(out.binding, out.num_buses);
+      out.binding_optimal = false;
+      out.binding_nodes = stats.nodes;
+    }
+  } else {
+    milp::bb_options mo;
+    mo.time_limit_sec = opts.limits.time_limit_sec;
+    if (opts.optimize_binding) {
+      const auto sol = solve_binding_milp(input, out.num_buses, mo);
+      STX_ENSURE(sol.has_value(),
+                 "binding MILP infeasible at the proven-feasible bus count");
+      out.binding = sol->binding;
+      out.max_overlap = sol->max_overlap;
+    } else {
+      const auto sol = solve_feasibility_milp(input, out.num_buses, mo);
+      STX_ENSURE(sol.has_value(),
+                 "feasibility MILP infeasible at the proven-feasible bus "
+                 "count");
+      out.binding = *sol;
+      out.max_overlap = input.max_bus_overlap(out.binding, out.num_buses);
+      out.binding_optimal = false;
+    }
+  }
+
+  STX_ENSURE(input.binding_feasible(out.binding, out.num_buses),
+             "synthesised binding violates the model");
+  return out;
+}
+
+crossbar_design synthesize_from_trace(const traffic::trace& t,
+                                      const synthesis_options& opts) {
+  const traffic::window_analysis wa(t, opts.params.window_size);
+  const synthesis_input input(wa, opts.params);
+  return synthesize(input, opts);
+}
+
+}  // namespace stx::xbar

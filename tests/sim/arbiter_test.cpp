@@ -1,0 +1,85 @@
+// Unit tests for arbitration policies.
+#include "sim/arbiter.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace stx::sim {
+namespace {
+
+TEST(Arbiter, FixedPriorityPicksLowestIndex) {
+  auto a = make_arbiter(arbitration::fixed_priority, 4);
+  EXPECT_EQ(a->pick({false, true, true, false}, 0), 1);
+  EXPECT_EQ(a->pick({false, true, true, false}, 1), 1);  // no rotation
+  EXPECT_EQ(a->pick({true, true, true, true}, 2), 0);
+}
+
+TEST(Arbiter, NoRequestsReturnsMinusOne) {
+  for (auto policy :
+       {arbitration::fixed_priority, arbitration::round_robin,
+        arbitration::least_recently_granted}) {
+    auto a = make_arbiter(policy, 3);
+    EXPECT_EQ(a->pick({false, false, false}, 0), -1);
+  }
+}
+
+TEST(Arbiter, RoundRobinRotatesThroughRequesters) {
+  auto a = make_arbiter(arbitration::round_robin, 3);
+  const std::vector<bool> all = {true, true, true};
+  EXPECT_EQ(a->pick(all, 0), 0);
+  EXPECT_EQ(a->pick(all, 1), 1);
+  EXPECT_EQ(a->pick(all, 2), 2);
+  EXPECT_EQ(a->pick(all, 3), 0);  // wraps
+}
+
+TEST(Arbiter, RoundRobinSkipsIdlePorts) {
+  auto a = make_arbiter(arbitration::round_robin, 4);
+  EXPECT_EQ(a->pick({true, false, true, false}, 0), 0);
+  EXPECT_EQ(a->pick({true, false, true, false}, 1), 2);
+  EXPECT_EQ(a->pick({true, false, true, false}, 2), 0);
+}
+
+TEST(Arbiter, RoundRobinIsWorkConserving) {
+  auto a = make_arbiter(arbitration::round_robin, 3);
+  EXPECT_EQ(a->pick({false, false, true}, 0), 2);
+  EXPECT_EQ(a->pick({true, false, false}, 1), 0);
+}
+
+TEST(Arbiter, LeastRecentlyGrantedPrefersLongestWait) {
+  auto a = make_arbiter(arbitration::least_recently_granted, 3);
+  const std::vector<bool> all = {true, true, true};
+  EXPECT_EQ(a->pick(all, 0), 0);  // all tied: lowest index
+  EXPECT_EQ(a->pick(all, 1), 1);  // 0 just granted
+  EXPECT_EQ(a->pick(all, 2), 2);
+  EXPECT_EQ(a->pick(all, 3), 0);  // 0 waited longest now
+  // Port 1 sits out a few grants, then has priority over port 2.
+  EXPECT_EQ(a->pick({false, true, true}, 4), 1);
+}
+
+TEST(Arbiter, FairnessUnderSaturation) {
+  // Round robin: after N*k picks with all ports requesting, every port
+  // granted exactly k times.
+  auto a = make_arbiter(arbitration::round_robin, 4);
+  std::vector<int> grants(4, 0);
+  const std::vector<bool> all(4, true);
+  for (int i = 0; i < 400; ++i) {
+    ++grants[static_cast<std::size_t>(a->pick(all, i))];
+  }
+  for (int g : grants) EXPECT_EQ(g, 100);
+}
+
+TEST(Arbiter, FactoryRejectsZeroPorts) {
+  EXPECT_THROW(make_arbiter(arbitration::round_robin, 0),
+               invalid_argument_error);
+}
+
+TEST(Arbiter, PolicyNames) {
+  EXPECT_STREQ(to_string(arbitration::fixed_priority), "fixed_priority");
+  EXPECT_STREQ(to_string(arbitration::round_robin), "round_robin");
+  EXPECT_STREQ(to_string(arbitration::least_recently_granted),
+               "least_recently_granted");
+}
+
+}  // namespace
+}  // namespace stx::sim

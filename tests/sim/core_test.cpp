@@ -1,0 +1,174 @@
+// Unit tests for the program-driven core model.
+#include "sim/core.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace stx::sim {
+namespace {
+
+core_op compute_op(cycle_t cycles) {
+  core_op op;
+  op.op = core_op::kind::compute;
+  op.cycles = cycles;
+  return op;
+}
+
+core_op read_op(int target, int cells) {
+  core_op op;
+  op.op = core_op::kind::read;
+  op.target = target;
+  op.cells = cells;
+  return op;
+}
+
+core_op write_op(int target, int cells) {
+  core_op op;
+  op.op = core_op::kind::write;
+  op.target = target;
+  op.cells = cells;
+  return op;
+}
+
+core_params no_jitter_params() {
+  core_params p;
+  p.compute_jitter = 0.0;
+  return p;
+}
+
+TEST(Core, ReadBlocksUntilResponse) {
+  core c(0, {read_op(2, 8)}, no_jitter_params(), rng(1));
+  barrier_board board;
+  std::vector<packet> sent;
+  const send_fn sink = [&](const packet& p) { sent.push_back(p); };
+
+  c.step(0, sink, board);
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].kind, packet_kind::request_read);
+  EXPECT_EQ(sent[0].dest, 2);
+  EXPECT_EQ(sent[0].response_cells, 8);
+  EXPECT_TRUE(c.waiting());
+
+  // Stays blocked while the response is in flight.
+  for (cycle_t now = 1; now < 10; ++now) c.step(now, sink, board);
+  EXPECT_EQ(sent.size(), 1u);
+
+  packet resp;
+  resp.kind = packet_kind::response_read;
+  resp.txn = sent[0].txn;
+  resp.dest = 0;
+  c.on_response(resp, 12);
+  EXPECT_FALSE(c.waiting());
+  EXPECT_EQ(c.transactions(), 1);
+  EXPECT_DOUBLE_EQ(c.round_trip().max(), 12.0);
+
+  // Program loops: next step issues the read again.
+  c.step(13, sink, board);
+  EXPECT_EQ(sent.size(), 2u);
+  EXPECT_EQ(c.iterations(), 1);
+}
+
+TEST(Core, WriteCarriesPayloadAndAwaitsAck) {
+  core c(0, {write_op(1, 16)}, no_jitter_params(), rng(1));
+  barrier_board board;
+  std::vector<packet> sent;
+  const send_fn sink = [&](const packet& p) { sent.push_back(p); };
+  c.step(0, sink, board);
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].kind, packet_kind::request_write);
+  EXPECT_EQ(sent[0].cells, 16);
+  EXPECT_EQ(sent[0].response_cells, 1);
+}
+
+TEST(Core, ComputeConsumesExactCyclesWithoutJitter) {
+  core c(0, {compute_op(5), read_op(0, 1)}, no_jitter_params(), rng(1));
+  barrier_board board;
+  std::vector<cycle_t> issue_times;
+  const send_fn sink = [&](const packet& p) { issue_times.push_back(p.issue); };
+  for (cycle_t now = 0; now < 10 && issue_times.empty(); ++now) {
+    c.step(now, sink, board);
+  }
+  ASSERT_EQ(issue_times.size(), 1u);
+  EXPECT_EQ(issue_times[0], 5);  // compute occupied cycles [0,5)
+}
+
+TEST(Core, ZeroComputeTakesOneCycle) {
+  core c(0, {compute_op(0), read_op(0, 1)}, no_jitter_params(), rng(1));
+  barrier_board board;
+  std::vector<cycle_t> issue_times;
+  const send_fn sink = [&](const packet& p) { issue_times.push_back(p.issue); };
+  for (cycle_t now = 0; now < 5 && issue_times.empty(); ++now) {
+    c.step(now, sink, board);
+  }
+  ASSERT_EQ(issue_times.size(), 1u);
+  EXPECT_EQ(issue_times[0], 1);  // op slot still costs a cycle
+}
+
+TEST(Core, LoopStartSkipsPrologue) {
+  // Prologue: long compute. Body: read. After the first iteration the
+  // prologue must not run again.
+  core c(0, {compute_op(50), read_op(0, 1)}, no_jitter_params(), rng(1),
+         /*loop_start=*/1);
+  barrier_board board;
+  std::vector<cycle_t> issue_times;
+  const send_fn sink = [&](const packet& p) { issue_times.push_back(p.issue); };
+  cycle_t now = 0;
+  for (; now < 200 && issue_times.size() < 2; ++now) {
+    c.step(now, sink, board);
+    if (!issue_times.empty() && c.waiting()) {
+      packet resp;
+      resp.kind = packet_kind::response_read;
+      resp.txn = issue_times.size();  // txns count from 1
+      c.on_response(resp, now + 1);
+    }
+  }
+  ASSERT_EQ(issue_times.size(), 2u);
+  EXPECT_EQ(issue_times[0], 50);
+  // Second issue follows immediately after the response, not after
+  // another 50-cycle prologue.
+  EXPECT_LT(issue_times[1], 60);
+}
+
+TEST(Core, RejectsEmptyProgramAndBadOps) {
+  EXPECT_THROW(core(0, {}, no_jitter_params(), rng(1)),
+               invalid_argument_error);
+  core_op bad_barrier;
+  bad_barrier.op = core_op::kind::barrier;
+  bad_barrier.group_size = 0;
+  EXPECT_THROW(core(0, {bad_barrier}, no_jitter_params(), rng(1)),
+               invalid_argument_error);
+  EXPECT_THROW(core(0, {read_op(0, 0)}, no_jitter_params(), rng(1)),
+               invalid_argument_error);
+  EXPECT_THROW(core(0, {read_op(0, 1)}, no_jitter_params(), rng(1),
+                    /*loop_start=*/5),
+               invalid_argument_error);
+}
+
+TEST(Core, ResponseTxnMismatchIsInternalError) {
+  core c(0, {read_op(0, 1)}, no_jitter_params(), rng(1));
+  barrier_board board;
+  const send_fn sink = [](const packet&) {};
+  c.step(0, sink, board);
+  packet wrong;
+  wrong.txn = 999;
+  EXPECT_THROW(c.on_response(wrong, 1), internal_error);
+}
+
+TEST(BarrierBoard, OpensAtGroupSize) {
+  barrier_board board;
+  EXPECT_FALSE(board.open(1, 0, 2));
+  board.arrive(1, 0);
+  EXPECT_FALSE(board.open(1, 0, 2));
+  board.arrive(1, 0);
+  EXPECT_TRUE(board.open(1, 0, 2));
+  // Different epoch is independent.
+  EXPECT_FALSE(board.open(1, 1, 2));
+  // Different barrier id is independent.
+  EXPECT_FALSE(board.open(2, 0, 2));
+}
+
+}  // namespace
+}  // namespace stx::sim

@@ -1,0 +1,150 @@
+// Unit tests for crossbar configuration and routing.
+#include "sim/crossbar.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace stx::sim {
+namespace {
+
+TEST(CrossbarConfig, SharedFactory) {
+  const auto cfg = crossbar_config::shared(5);
+  EXPECT_EQ(cfg.num_buses, 1);
+  ASSERT_EQ(cfg.binding.size(), 5u);
+  for (int b : cfg.binding) EXPECT_EQ(b, 0);
+  cfg.validate(5);
+}
+
+TEST(CrossbarConfig, FullFactory) {
+  const auto cfg = crossbar_config::full(4);
+  EXPECT_EQ(cfg.num_buses, 4);
+  for (int e = 0; e < 4; ++e) EXPECT_EQ(cfg.binding[static_cast<std::size_t>(e)], e);
+  cfg.validate(4);
+}
+
+TEST(CrossbarConfig, PartialFactoryAndValidation) {
+  const auto cfg = crossbar_config::partial(2, {0, 0, 1, 1});
+  cfg.validate(4);
+  EXPECT_THROW(cfg.validate(3), invalid_argument_error);  // size mismatch
+  auto bad = crossbar_config::partial(2, {0, 0, 5, 1});
+  EXPECT_THROW(bad.validate(4), invalid_argument_error);  // unknown bus
+  auto none = crossbar_config::partial(0, {});
+  EXPECT_THROW(none.validate(0), invalid_argument_error);  // no buses
+}
+
+TEST(CrossbarConfig, ToStringNamesShapes) {
+  EXPECT_NE(crossbar_config::shared(3).to_string().find("shared"),
+            std::string::npos);
+  EXPECT_NE(crossbar_config::full(3).to_string().find("full"),
+            std::string::npos);
+  EXPECT_NE(crossbar_config::partial(2, {0, 1, 1}).to_string().find("partial"),
+            std::string::npos);
+}
+
+packet make_packet(int src, int dst, int cells, cycle_t issue) {
+  packet p;
+  p.source = src;
+  p.dest = dst;
+  p.cells = cells;
+  p.issue = issue;
+  return p;
+}
+
+TEST(Crossbar, RoutesByBinding) {
+  auto cfg = crossbar_config::partial(2, {0, 1, 1});
+  cfg.transfer_overhead = 0;
+  crossbar xb(cfg, /*send_ports=*/2, /*recv=*/3);
+  xb.enqueue(make_packet(0, 0, 1, 0));  // -> bus 0
+  xb.enqueue(make_packet(1, 2, 1, 0));  // -> bus 1
+  int delivered = 0;
+  for (cycle_t now = 0; now < 5; ++now) {
+    xb.step(now, [&](const packet&, cycle_t, cycle_t) { ++delivered; });
+  }
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(xb.bus_at(0).delivered_packets(), 1);
+  EXPECT_EQ(xb.bus_at(1).delivered_packets(), 1);
+}
+
+TEST(Crossbar, ParallelBusesDoNotSerialise) {
+  auto cfg = crossbar_config::full(2);
+  cfg.transfer_overhead = 0;
+  crossbar xb(cfg, 2, 2);
+  xb.enqueue(make_packet(0, 0, 4, 0));
+  xb.enqueue(make_packet(1, 1, 4, 0));
+  cycle_t last_end = 0;
+  for (cycle_t now = 0; now < 10; ++now) {
+    xb.step(now, [&](const packet&, cycle_t, cycle_t re) {
+      last_end = std::max(last_end, re);
+    });
+  }
+  EXPECT_EQ(last_end, 4);  // both finish together on separate buses
+}
+
+TEST(Crossbar, SharedBusSerialises) {
+  auto cfg = crossbar_config::shared(2);
+  cfg.transfer_overhead = 0;
+  crossbar xb(cfg, 2, 2);
+  xb.enqueue(make_packet(0, 0, 4, 0));
+  xb.enqueue(make_packet(1, 1, 4, 0));
+  cycle_t last_end = 0;
+  for (cycle_t now = 0; now < 10; ++now) {
+    xb.step(now, [&](const packet&, cycle_t, cycle_t re) {
+      last_end = std::max(last_end, re);
+    });
+  }
+  EXPECT_EQ(last_end, 8);
+}
+
+TEST(Crossbar, LatencyStatsAndCriticalSplit) {
+  auto cfg = crossbar_config::shared(1);
+  cfg.transfer_overhead = 1;
+  crossbar xb(cfg, 2, 1);
+  auto p1 = make_packet(0, 0, 2, 0);
+  auto p2 = make_packet(1, 0, 2, 0);
+  p2.critical = true;
+  xb.enqueue(p1);
+  xb.enqueue(p2);
+  for (cycle_t now = 0; now < 10; ++now) {
+    xb.step(now, [](const packet&, cycle_t, cycle_t) {});
+  }
+  EXPECT_EQ(xb.latency().count(), 2);
+  EXPECT_EQ(xb.critical_latency().count(), 1);
+  // First packet: 3 cycles; second: waits 3 then 3 = 6.
+  EXPECT_DOUBLE_EQ(xb.latency().min(), 3.0);
+  EXPECT_DOUBLE_EQ(xb.latency().max(), 6.0);
+}
+
+TEST(Crossbar, DrainedReflectsOutstandingWork) {
+  auto cfg = crossbar_config::shared(1);
+  crossbar xb(cfg, 1, 1);
+  EXPECT_TRUE(xb.drained());
+  xb.enqueue(make_packet(0, 0, 3, 0));
+  EXPECT_FALSE(xb.drained());
+  for (cycle_t now = 0; now < 10; ++now) {
+    xb.step(now, [](const packet&, cycle_t, cycle_t) {});
+  }
+  EXPECT_TRUE(xb.drained());
+}
+
+TEST(Crossbar, UtilizationPerBus) {
+  auto cfg = crossbar_config::full(2);
+  cfg.transfer_overhead = 0;
+  crossbar xb(cfg, 1, 2);
+  xb.enqueue(make_packet(0, 0, 5, 0));
+  for (cycle_t now = 0; now < 10; ++now) {
+    xb.step(now, [](const packet&, cycle_t, cycle_t) {});
+  }
+  EXPECT_DOUBLE_EQ(xb.utilization(0, 10), 0.5);
+  EXPECT_DOUBLE_EQ(xb.utilization(1, 10), 0.0);
+  EXPECT_THROW(xb.utilization(0, 0), invalid_argument_error);
+  EXPECT_THROW(xb.utilization(7, 10), invalid_argument_error);
+}
+
+TEST(Crossbar, EnqueueRejectsUnknownDest) {
+  crossbar xb(crossbar_config::shared(2), 1, 2);
+  EXPECT_THROW(xb.enqueue(make_packet(0, 9, 1, 0)), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace stx::sim

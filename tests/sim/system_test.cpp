@@ -1,0 +1,224 @@
+// Integration tests for the full MPSoC system simulator.
+#include "sim/system.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace stx::sim {
+namespace {
+
+core_op compute_op(cycle_t cycles) {
+  core_op op;
+  op.op = core_op::kind::compute;
+  op.cycles = cycles;
+  return op;
+}
+
+core_op read_op(int target, int cells) {
+  core_op op;
+  op.op = core_op::kind::read;
+  op.target = target;
+  op.cells = cells;
+  return op;
+}
+
+core_op write_op(int target, int cells) {
+  core_op op;
+  op.op = core_op::kind::write;
+  op.target = target;
+  op.cells = cells;
+  return op;
+}
+
+core_op barrier_op(int target, int id, int group) {
+  core_op op;
+  op.op = core_op::kind::barrier;
+  op.target = target;
+  op.barrier_id = id;
+  op.group_size = group;
+  return op;
+}
+
+system_config two_by_two_config() {
+  system_config cfg;
+  cfg.request = crossbar_config::full(2);
+  cfg.response = crossbar_config::full(2);
+  cfg.core.compute_jitter = 0.0;
+  return cfg;
+}
+
+TEST(System, SingleReadRoundTrip) {
+  auto cfg = two_by_two_config();
+  mpsoc_system sys({{read_op(0, 4)}, {compute_op(1000)}}, 2, cfg);
+  sys.run(100);
+  EXPECT_GE(sys.core_at(0).transactions(), 1);
+  // Round trip: request (2+1) + service 4 + response (2+4) = 13.
+  EXPECT_DOUBLE_EQ(sys.core_at(0).round_trip().min(), 13.0);
+}
+
+TEST(System, ConservationRequestsEqualResponses) {
+  auto cfg = two_by_two_config();
+  mpsoc_system sys(
+      {{read_op(0, 4), write_op(1, 8)}, {write_op(1, 2), read_op(0, 2)}}, 2,
+      cfg);
+  sys.run(2000);
+  // Every delivered request produced exactly one delivered response;
+  // in-flight work at the horizon accounts for at most the difference.
+  const auto req = sys.request_crossbar().latency().count();
+  const auto resp = sys.response_crossbar().latency().count();
+  EXPECT_GE(req, resp);
+  EXPECT_LE(req - resp, 2);  // at most one outstanding per core
+  // Each completed transaction consumed one request and one response.
+  EXPECT_LE(sys.total_transactions(), resp);
+}
+
+TEST(System, DeterministicForSameSeed) {
+  auto cfg = two_by_two_config();
+  cfg.seed = 42;
+  cfg.core.compute_jitter = 0.2;
+  const std::vector<std::vector<core_op>> progs = {
+      {compute_op(10), read_op(0, 4)}, {compute_op(5), write_op(1, 6)}};
+  mpsoc_system a(progs, 2, cfg);
+  mpsoc_system b(progs, 2, cfg);
+  a.run(5000);
+  b.run(5000);
+  EXPECT_EQ(a.total_transactions(), b.total_transactions());
+  EXPECT_EQ(a.packet_latency().count(), b.packet_latency().count());
+  EXPECT_DOUBLE_EQ(a.packet_latency().mean(), b.packet_latency().mean());
+  EXPECT_EQ(a.request_trace().events().size(),
+            b.request_trace().events().size());
+}
+
+TEST(System, DifferentSeedsDiverge) {
+  system_config cfg;
+  cfg.request = crossbar_config::full(2);
+  cfg.response = crossbar_config::full(1);
+  cfg.core.compute_jitter = 0.3;
+  const std::vector<std::vector<core_op>> progs = {
+      {compute_op(50), read_op(0, 4)}};
+  cfg.seed = 1;
+  mpsoc_system a(progs, 2, cfg);
+  cfg.seed = 2;
+  mpsoc_system b(progs, 2, cfg);
+  a.run(20000);
+  b.run(20000);
+  // Jittered compute spans shift the traffic; traces should differ.
+  ASSERT_FALSE(a.request_trace().events().empty());
+  bool any_diff =
+      a.request_trace().events().size() != b.request_trace().events().size();
+  if (!any_diff) {
+    for (std::size_t i = 0; i < a.request_trace().events().size(); ++i) {
+      if (a.request_trace().events()[i].begin !=
+          b.request_trace().events()[i].begin) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(System, SharedBusSlowerThanFullCrossbar) {
+  std::vector<std::vector<core_op>> progs;
+  for (int i = 0; i < 4; ++i) {
+    progs.push_back({read_op(i, 12), compute_op(5)});
+  }
+  system_config full_cfg;
+  full_cfg.request = crossbar_config::full(4);
+  full_cfg.response = crossbar_config::full(4);
+  full_cfg.core.compute_jitter = 0.0;
+  mpsoc_system full(progs, 4, full_cfg);
+  full.run(20000);
+
+  system_config shared_cfg = full_cfg;
+  shared_cfg.request = crossbar_config::shared(4);
+  shared_cfg.response = crossbar_config::shared(4);
+  mpsoc_system shared(progs, 4, shared_cfg);
+  shared.run(20000);
+
+  EXPECT_GT(shared.packet_latency().mean(), full.packet_latency().mean());
+  EXPECT_GT(full.total_iterations(), shared.total_iterations());
+}
+
+TEST(System, TraceEventsMatchDeliveredPackets) {
+  auto cfg = two_by_two_config();
+  mpsoc_system sys({{read_op(0, 4)}, {write_op(1, 4)}}, 2, cfg);
+  sys.run(3000);
+  std::int64_t delivered_req = 0;
+  for (int k = 0; k < sys.request_crossbar().num_buses(); ++k) {
+    delivered_req += sys.request_crossbar().bus_at(k).delivered_packets();
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(sys.request_trace().events().size()),
+            delivered_req);
+  EXPECT_EQ(sys.request_trace().horizon(), sys.now());
+}
+
+TEST(System, PerTargetTraceIntervalsAreDisjoint) {
+  // A target's receive intervals come from a single bus, so merging them
+  // must not lose cycles: total busy == sum of event lengths.
+  auto cfg = two_by_two_config();
+  mpsoc_system sys({{read_op(0, 3), write_op(0, 5)},
+                    {write_op(1, 7), read_op(1, 2)}},
+                   2, cfg);
+  sys.run(4000);
+  const auto& tr = sys.request_trace();
+  for (int t = 0; t < tr.num_targets(); ++t) {
+    cycle_t event_sum = 0;
+    for (const auto& e : tr.events()) {
+      if (e.target == t) event_sum += e.end - e.begin;
+    }
+    EXPECT_EQ(tr.total_busy_per_target()[static_cast<std::size_t>(t)],
+              event_sum);
+  }
+}
+
+TEST(System, BarrierSynchronisesCores) {
+  // Core 0 computes 10, core 1 computes 200; both barrier each iteration.
+  // Iteration counts can differ by at most one despite the asymmetry.
+  std::vector<std::vector<core_op>> progs = {
+      {compute_op(10), barrier_op(2, 0, 2)},
+      {compute_op(200), barrier_op(2, 0, 2)}};
+  system_config cfg;
+  cfg.request = crossbar_config::full(3);
+  cfg.response = crossbar_config::full(2);
+  cfg.core.compute_jitter = 0.0;
+  mpsoc_system sys(progs, 3, cfg);
+  sys.run(30000);
+  EXPECT_GT(sys.core_at(0).iterations(), 10);
+  EXPECT_LE(std::abs(sys.core_at(0).iterations() -
+                     sys.core_at(1).iterations()),
+            1);
+}
+
+TEST(System, RecordTracesOffKeepsTracesEmpty) {
+  auto cfg = two_by_two_config();
+  cfg.record_traces = false;
+  mpsoc_system sys({{read_op(0, 4)}, {write_op(1, 4)}}, 2, cfg);
+  sys.run(1000);
+  EXPECT_TRUE(sys.request_trace().empty());
+  EXPECT_TRUE(sys.response_trace().empty());
+  EXPECT_GT(sys.total_transactions(), 0);
+}
+
+TEST(System, RunIsResumable) {
+  system_config cfg;
+  cfg.request = crossbar_config::full(1);
+  cfg.response = crossbar_config::full(1);
+  mpsoc_system sys({{read_op(0, 4)}}, 1, cfg);
+  sys.run(100);
+  const auto t1 = sys.total_transactions();
+  sys.run(200);
+  EXPECT_GT(sys.total_transactions(), t1);
+  EXPECT_THROW(sys.run(50), invalid_argument_error);  // backwards
+}
+
+TEST(System, ValidatesConstruction) {
+  system_config cfg = two_by_two_config();
+  EXPECT_THROW(mpsoc_system({}, 2, cfg), invalid_argument_error);
+  EXPECT_THROW(mpsoc_system({{read_op(5, 1)}}, 2, cfg),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace stx::sim

@@ -1,0 +1,102 @@
+// Unit tests for the memory target model.
+#include "sim/target.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stx::sim {
+namespace {
+
+packet make_request(packet_kind kind, int src, int dst, int cells,
+                    int response_cells, std::int64_t txn) {
+  packet p;
+  p.kind = kind;
+  p.source = src;
+  p.dest = dst;
+  p.cells = cells;
+  p.response_cells = response_cells;
+  p.txn = txn;
+  return p;
+}
+
+std::vector<packet> drain(memory_target& t, cycle_t from, cycle_t to) {
+  std::vector<packet> out;
+  for (cycle_t now = from; now < to; ++now) {
+    t.step(now, [&](const packet& p) { out.push_back(p); });
+  }
+  return out;
+}
+
+TEST(Target, ReadProducesResponseOfRequestedSize) {
+  memory_target t(3, {/*service_latency=*/4});
+  t.on_request(make_request(packet_kind::request_read, 1, 3, 1, 16, 7), 10);
+  const auto replies = drain(t, 0, 40);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].kind, packet_kind::response_read);
+  EXPECT_EQ(replies[0].cells, 16);
+  EXPECT_EQ(replies[0].source, 3);
+  EXPECT_EQ(replies[0].dest, 1);
+  EXPECT_EQ(replies[0].txn, 7);
+}
+
+TEST(Target, WriteProducesSingleCellAck) {
+  memory_target t(0, {4});
+  t.on_request(make_request(packet_kind::request_write, 2, 0, 16, 1, 9), 0);
+  const auto replies = drain(t, 0, 20);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].kind, packet_kind::response_ack);
+  EXPECT_EQ(replies[0].cells, 1);
+  EXPECT_EQ(replies[0].dest, 2);
+}
+
+TEST(Target, ServiceLatencyDelaysReply) {
+  memory_target t(0, {6});
+  t.on_request(make_request(packet_kind::request_read, 0, 0, 1, 4, 1), 10);
+  std::vector<cycle_t> emit_times;
+  for (cycle_t now = 0; now < 30; ++now) {
+    t.step(now, [&](const packet&) { emit_times.push_back(now); });
+  }
+  ASSERT_EQ(emit_times.size(), 1u);
+  EXPECT_EQ(emit_times[0], 16);  // arrival 10 + service 6
+}
+
+TEST(Target, RequestsAreServedSerially) {
+  memory_target t(0, {5});
+  t.on_request(make_request(packet_kind::request_read, 0, 0, 1, 2, 1), 0);
+  t.on_request(make_request(packet_kind::request_read, 1, 0, 1, 2, 2), 0);
+  std::vector<std::pair<cycle_t, std::int64_t>> emissions;
+  for (cycle_t now = 0; now < 30; ++now) {
+    t.step(now, [&](const packet& p) { emissions.emplace_back(now, p.txn); });
+  }
+  ASSERT_EQ(emissions.size(), 2u);
+  EXPECT_EQ(emissions[0].first, 5);
+  EXPECT_EQ(emissions[0].second, 1);
+  EXPECT_EQ(emissions[1].first, 10);  // serialised behind the first
+  EXPECT_EQ(emissions[1].second, 2);
+  EXPECT_EQ(t.served(), 2);
+}
+
+TEST(Target, CriticalFlagPropagatesToReply) {
+  memory_target t(0, {1});
+  auto req = make_request(packet_kind::request_read, 0, 0, 1, 2, 1);
+  req.critical = true;
+  t.on_request(req, 0);
+  const auto replies = drain(t, 0, 10);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].critical);
+}
+
+TEST(Target, ZeroServiceLatency) {
+  memory_target t(0, {0});
+  t.on_request(make_request(packet_kind::request_read, 0, 0, 1, 2, 1), 3);
+  std::vector<cycle_t> emit_times;
+  for (cycle_t now = 0; now < 10; ++now) {
+    t.step(now, [&](const packet&) { emit_times.push_back(now); });
+  }
+  ASSERT_EQ(emit_times.size(), 1u);
+  EXPECT_EQ(emit_times[0], 3);
+}
+
+}  // namespace
+}  // namespace stx::sim

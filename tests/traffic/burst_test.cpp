@@ -1,0 +1,68 @@
+// Unit tests for burst structure estimation.
+#include "traffic/burst.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace stx::traffic {
+namespace {
+
+TEST(Burst, SingleInterval) {
+  trace t(1, 1, 1000);
+  t.add({0, 0, 100, 150, false});
+  const auto s = analyze_bursts(t, 0, 20);
+  EXPECT_EQ(s.count, 1);
+  EXPECT_DOUBLE_EQ(s.mean_length, 50.0);
+  EXPECT_EQ(s.max_length, 50);
+  EXPECT_DOUBLE_EQ(s.mean_gap, 0.0);
+}
+
+TEST(Burst, GapThresholdMergesCloseIntervals) {
+  trace t(1, 1, 1000);
+  t.add({0, 0, 0, 10, false});
+  t.add({0, 0, 15, 25, false});   // gap 5 <= 20: same burst
+  t.add({0, 0, 100, 110, false}); // gap 75 > 20: new burst
+  const auto s = analyze_bursts(t, 0, 20);
+  EXPECT_EQ(s.count, 2);
+  EXPECT_DOUBLE_EQ(s.mean_length, (25.0 + 10.0) / 2.0);
+  EXPECT_EQ(s.max_length, 25);
+  EXPECT_DOUBLE_EQ(s.mean_gap, 75.0);
+}
+
+TEST(Burst, ZeroThresholdKeepsSeparateIntervals) {
+  trace t(1, 1, 100);
+  t.add({0, 0, 0, 10, false});
+  t.add({0, 0, 11, 20, false});
+  const auto s = analyze_bursts(t, 0, 0);
+  EXPECT_EQ(s.count, 2);
+}
+
+TEST(Burst, EmptyTargetHasNoBursts) {
+  trace t(2, 1, 100);
+  t.add({1, 0, 0, 10, false});
+  const auto s = analyze_bursts(t, 0, 10);
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.mean_length, 0.0);
+}
+
+TEST(Burst, RejectsNegativeThreshold) {
+  trace t(1, 1, 100);
+  EXPECT_THROW(analyze_bursts(t, 0, -1), invalid_argument_error);
+}
+
+TEST(Burst, TypicalLengthAveragesOverActiveTargets) {
+  trace t(3, 1, 1000);
+  t.add({0, 0, 0, 100, false});   // burst length 100
+  t.add({1, 0, 0, 300, false});   // burst length 300
+  // target 2 silent: excluded from the average
+  EXPECT_DOUBLE_EQ(typical_burst_length(t, 10), 200.0);
+}
+
+TEST(Burst, TypicalLengthEmptyTraceIsZero) {
+  trace t(2, 1, 100);
+  EXPECT_DOUBLE_EQ(typical_burst_length(t, 10), 0.0);
+}
+
+}  // namespace
+}  // namespace stx::traffic

@@ -1,0 +1,106 @@
+// Unit tests for variable-size analysis windows.
+#include "traffic/variable_windows.h"
+
+#include <gtest/gtest.h>
+
+#include "traffic/windows.h"
+#include "util/error.h"
+
+namespace stx::traffic {
+namespace {
+
+TEST(WindowPartition, UniformFactoryCoversHorizon) {
+  const auto p = window_partition::uniform(1000, 300);
+  EXPECT_EQ(p.num_windows(), 4);  // 300,300,300,100
+  EXPECT_EQ(p.begin(0), 0);
+  EXPECT_EQ(p.end(3), 1000);
+  EXPECT_EQ(p.size(3), 100);
+  EXPECT_EQ(p.max_size(), 300);
+  EXPECT_EQ(p.horizon(), 1000);
+}
+
+TEST(WindowPartition, ValidatesBoundaries) {
+  EXPECT_THROW(window_partition({0}), invalid_argument_error);
+  EXPECT_THROW(window_partition({5, 10}), invalid_argument_error);
+  EXPECT_THROW(window_partition({0, 10, 10}), invalid_argument_error);
+  EXPECT_THROW(window_partition({0, 20, 10}), invalid_argument_error);
+  EXPECT_NO_THROW(window_partition({0, 10, 30}));
+}
+
+TEST(WindowPartition, BurstAdaptiveShrinksInDensePhases) {
+  // Dense activity in [0,200), silence until 2000.
+  trace t(2, 1, 2000);
+  t.add({0, 0, 0, 200, false});
+  t.add({1, 0, 0, 200, false});
+  const auto p = window_partition::burst_adaptive(
+      t, /*target_busy_per_window=*/100, /*min_size=*/50, /*max_size=*/1000);
+  // Dense region: ~100 busy per 50-cycle window -> several small windows;
+  // quiet region: max_size windows.
+  ASSERT_GE(p.num_windows(), 4);
+  EXPECT_LE(p.size(0), 100);
+  EXPECT_EQ(p.max_size(), 1000);
+  EXPECT_EQ(p.horizon(), 2000);
+}
+
+TEST(WindowPartition, BurstAdaptiveRespectsClamp) {
+  trace t(1, 1, 5000);
+  t.add({0, 0, 0, 5000, false});  // uniformly busy
+  const auto p = window_partition::burst_adaptive(t, 100, 200, 400);
+  for (int m = 0; m < p.num_windows() - 1; ++m) {
+    EXPECT_GE(p.size(m), 200);
+    EXPECT_LE(p.size(m), 400);
+  }
+}
+
+TEST(VariableWindows, AgreesWithUniformAnalysisOnUniformPartition) {
+  trace t(3, 1, 500);
+  t.add({0, 0, 10, 80, false});
+  t.add({1, 0, 40, 140, false});
+  t.add({2, 0, 300, 420, false});
+  t.add({0, 0, 350, 380, true});
+
+  const window_analysis uniform(t, 100);
+  const variable_window_analysis variable(
+      t, window_partition::uniform(500, 100));
+
+  ASSERT_EQ(variable.num_windows(), uniform.num_windows());
+  for (int i = 0; i < 3; ++i) {
+    for (int m = 0; m < uniform.num_windows(); ++m) {
+      EXPECT_EQ(variable.comm(i, m), uniform.comm(i, m))
+          << "i=" << i << " m=" << m;
+    }
+    for (int j = i + 1; j < 3; ++j) {
+      EXPECT_EQ(variable.total_overlap(i, j), uniform.total_overlap(i, j));
+      EXPECT_EQ(variable.critical_overlap(i, j),
+                uniform.critical_overlap(i, j));
+      for (int m = 0; m < uniform.num_windows(); ++m) {
+        EXPECT_EQ(variable.pair_window_overlap(i, j, m),
+                  uniform.pair_window_overlap(i, j, m));
+      }
+    }
+  }
+}
+
+TEST(VariableWindows, CommBoundedByWindowSize) {
+  trace t(1, 1, 1000);
+  t.add({0, 0, 0, 1000, false});
+  const variable_window_analysis vwa(
+      t, window_partition({0, 100, 400, 1000}));
+  EXPECT_EQ(vwa.comm(0, 0), 100);
+  EXPECT_EQ(vwa.comm(0, 1), 300);
+  EXPECT_EQ(vwa.comm(0, 2), 600);
+}
+
+TEST(VariableWindows, OverlapFractionUsesOwnWindowSize) {
+  // Overlap of 50 cycles inside a 100-cycle window is 50%, even though a
+  // later window is 10x larger.
+  trace t(2, 1, 1100);
+  t.add({0, 0, 0, 60, false});
+  t.add({1, 0, 10, 60, false});
+  const variable_window_analysis vwa(t,
+                                     window_partition({0, 100, 1100}));
+  EXPECT_DOUBLE_EQ(vwa.max_window_overlap_fraction(0, 1), 0.5);
+}
+
+}  // namespace
+}  // namespace stx::traffic

@@ -1,0 +1,102 @@
+// Property tests: window-analysis identities on random traces.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "traffic/windows.h"
+#include "util/random.h"
+
+namespace stx::traffic {
+namespace {
+
+trace make_random_trace(rng& r, int targets, int initiators,
+                        cycle_t horizon, int events) {
+  trace t(targets, initiators, horizon);
+  for (int e = 0; e < events; ++e) {
+    stream_event ev;
+    ev.target = static_cast<int>(r.uniform_int(0, targets - 1));
+    ev.initiator = static_cast<int>(r.uniform_int(0, initiators - 1));
+    ev.begin = r.uniform_int(0, horizon - 2);
+    ev.end = std::min<cycle_t>(horizon,
+                               ev.begin + r.uniform_int(1, horizon / 8));
+    ev.critical = r.chance(0.2);
+    t.add(ev);
+  }
+  return t;
+}
+
+class WindowsRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowsRandom, CommSumsToMergedBusyTotal) {
+  rng r(static_cast<std::uint64_t>(GetParam()) * 90001 + 7);
+  const auto t = make_random_trace(r, 4, 2, 2000,
+                                   static_cast<int>(r.uniform_int(5, 60)));
+  const auto ws = r.uniform_int(50, 700);
+  const window_analysis wa(t, ws);
+  const auto busy = t.total_busy_per_target();
+  for (int i = 0; i < t.num_targets(); ++i) {
+    EXPECT_EQ(wa.total_comm(i), busy[static_cast<std::size_t>(i)])
+        << "target " << i << " seed " << GetParam();
+  }
+}
+
+TEST_P(WindowsRandom, OverlapBoundedByComm) {
+  rng r(static_cast<std::uint64_t>(GetParam()) * 7349 + 3);
+  const auto t = make_random_trace(r, 5, 2, 1500,
+                                   static_cast<int>(r.uniform_int(5, 50)));
+  const auto ws = r.uniform_int(40, 500);
+  const window_analysis wa(t, ws);
+  for (int i = 0; i < t.num_targets(); ++i) {
+    for (int j = i + 1; j < t.num_targets(); ++j) {
+      cycle_t total = 0;
+      for (int m = 0; m < wa.num_windows(); ++m) {
+        const auto wo = wa.pair_window_overlap(i, j, m);
+        EXPECT_GE(wo, 0);
+        EXPECT_LE(wo, std::min(wa.comm(i, m), wa.comm(j, m)))
+            << "seed " << GetParam();
+        EXPECT_LE(wo, ws);
+        total += wo;
+      }
+      EXPECT_EQ(total, wa.total_overlap(i, j)) << "Eq. 1, seed " << GetParam();
+      EXPECT_EQ(wa.total_overlap(i, j), wa.total_overlap(j, i));
+      EXPECT_LE(wa.max_window_overlap(i, j), ws);
+      EXPECT_LE(wa.critical_overlap(i, j), wa.total_overlap(i, j));
+    }
+  }
+}
+
+TEST_P(WindowsRandom, CommNeverExceedsWindowSize) {
+  rng r(static_cast<std::uint64_t>(GetParam()) * 333667 + 11);
+  const auto t = make_random_trace(r, 3, 2, 1200,
+                                   static_cast<int>(r.uniform_int(5, 40)));
+  const auto ws = r.uniform_int(30, 400);
+  const window_analysis wa(t, ws);
+  for (int i = 0; i < t.num_targets(); ++i) {
+    for (int m = 0; m < wa.num_windows(); ++m) {
+      EXPECT_GE(wa.comm(i, m), 0);
+      EXPECT_LE(wa.comm(i, m), ws) << "seed " << GetParam();
+    }
+  }
+}
+
+TEST_P(WindowsRandom, WindowSizeUnionIsInvariant) {
+  // Splitting into windows must not create or destroy busy cycles:
+  // analyses with different window sizes agree on totals.
+  rng r(static_cast<std::uint64_t>(GetParam()) * 104659 + 23);
+  const auto t = make_random_trace(r, 4, 2, 1000,
+                                   static_cast<int>(r.uniform_int(5, 40)));
+  const window_analysis fine(t, 37);
+  const window_analysis coarse(t, 1000);
+  for (int i = 0; i < t.num_targets(); ++i) {
+    EXPECT_EQ(fine.total_comm(i), coarse.total_comm(i));
+    for (int j = i + 1; j < t.num_targets(); ++j) {
+      EXPECT_EQ(fine.total_overlap(i, j), coarse.total_overlap(i, j))
+          << "seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowsRandom, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace stx::traffic

@@ -1,0 +1,142 @@
+// Unit tests for window-based traffic analysis.
+#include "traffic/windows.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace stx::traffic {
+namespace {
+
+TEST(IntervalOverlap, BasicCases) {
+  const std::vector<std::pair<cycle_t, cycle_t>> a = {{0, 10}, {20, 30}};
+  const std::vector<std::pair<cycle_t, cycle_t>> b = {{5, 25}};
+  // a∩b = [5,10) + [20,25) = 10 cycles.
+  EXPECT_EQ(interval_overlap(a, b, 0, 100), 10);
+  EXPECT_EQ(interval_overlap(b, a, 0, 100), 10);  // commutative
+}
+
+TEST(IntervalOverlap, RespectsClipRange) {
+  const std::vector<std::pair<cycle_t, cycle_t>> a = {{0, 100}};
+  const std::vector<std::pair<cycle_t, cycle_t>> b = {{0, 100}};
+  EXPECT_EQ(interval_overlap(a, b, 10, 40), 30);
+}
+
+TEST(IntervalOverlap, DisjointIsZero) {
+  const std::vector<std::pair<cycle_t, cycle_t>> a = {{0, 10}};
+  const std::vector<std::pair<cycle_t, cycle_t>> b = {{10, 20}};
+  EXPECT_EQ(interval_overlap(a, b, 0, 100), 0);
+}
+
+TEST(IntervalOverlap, EmptyLists) {
+  const std::vector<std::pair<cycle_t, cycle_t>> a = {{0, 10}};
+  EXPECT_EQ(interval_overlap(a, {}, 0, 100), 0);
+  EXPECT_EQ(interval_overlap({}, {}, 0, 100), 0);
+}
+
+/// Two targets with hand-computable layout:
+/// target 0 busy [0,10) and [95,105); target 1 busy [5,12) and [100,103).
+trace make_hand_trace() {
+  trace t(2, 1, 200);
+  t.add({0, 0, 0, 10, false});
+  t.add({0, 0, 95, 105, false});
+  t.add({1, 0, 5, 12, false});
+  t.add({1, 0, 100, 103, false});
+  return t;
+}
+
+TEST(WindowAnalysis, CommSplitsAcrossWindowBoundaries) {
+  const auto t = make_hand_trace();
+  const window_analysis wa(t, 100);  // windows [0,100) and [100,200)
+  EXPECT_EQ(wa.num_windows(), 2);
+  EXPECT_EQ(wa.comm(0, 0), 15);  // [0,10) + [95,100)
+  EXPECT_EQ(wa.comm(0, 1), 5);   // [100,105)
+  EXPECT_EQ(wa.comm(1, 0), 7);
+  EXPECT_EQ(wa.comm(1, 1), 3);
+}
+
+TEST(WindowAnalysis, PairOverlapPerWindow) {
+  const auto t = make_hand_trace();
+  const window_analysis wa(t, 100);
+  // Window 0: [5,10) = 5; window 1: [100,103) = 3.
+  EXPECT_EQ(wa.pair_window_overlap(0, 1, 0), 5);
+  EXPECT_EQ(wa.pair_window_overlap(0, 1, 1), 3);
+  EXPECT_EQ(wa.pair_window_overlap(1, 0, 0), 5);  // symmetric
+}
+
+TEST(WindowAnalysis, OverlapMatrixIsSumOverWindows) {
+  const auto t = make_hand_trace();
+  const window_analysis wa(t, 100);
+  EXPECT_EQ(wa.total_overlap(0, 1), 8);
+  EXPECT_EQ(wa.max_window_overlap(0, 1), 5);
+  EXPECT_EQ(wa.total_overlap(0, 0), 0);  // diagonal convention
+}
+
+TEST(WindowAnalysis, OverlapSpanningWindowBoundary) {
+  trace t(2, 1, 200);
+  t.add({0, 0, 90, 110, false});
+  t.add({1, 0, 95, 120, false});
+  const window_analysis wa(t, 100);
+  EXPECT_EQ(wa.pair_window_overlap(0, 1, 0), 5);   // [95,100)
+  EXPECT_EQ(wa.pair_window_overlap(0, 1, 1), 10);  // [100,110)
+  EXPECT_EQ(wa.total_overlap(0, 1), 15);
+}
+
+TEST(WindowAnalysis, SingleWindowEqualsTotals) {
+  const auto t = make_hand_trace();
+  const window_analysis wa(t, 1000);  // one window covers everything
+  EXPECT_EQ(wa.num_windows(), 1);
+  EXPECT_EQ(wa.comm(0, 0), 20);
+  EXPECT_EQ(wa.total_overlap(0, 1), wa.max_window_overlap(0, 1));
+}
+
+TEST(WindowAnalysis, PeakAndTotalComm) {
+  const auto t = make_hand_trace();
+  const window_analysis wa(t, 100);
+  EXPECT_EQ(wa.peak_comm(0), 15);
+  EXPECT_EQ(wa.total_comm(0), 20);
+  EXPECT_EQ(wa.total_comm(1), 10);
+}
+
+TEST(WindowAnalysis, CriticalOverlapOnlyCountsCriticalEvents) {
+  trace t(2, 1, 100);
+  t.add({0, 0, 0, 10, true});
+  t.add({1, 0, 5, 15, false});  // overlaps but not critical
+  const window_analysis wa1(t, 100);
+  EXPECT_EQ(wa1.critical_overlap(0, 1), 0);
+  EXPECT_EQ(wa1.total_overlap(0, 1), 5);  // plain overlap still seen
+
+  trace t2(2, 1, 100);
+  t2.add({0, 0, 0, 10, true});
+  t2.add({1, 0, 5, 15, true});
+  const window_analysis wa2(t2, 100);
+  EXPECT_EQ(wa2.critical_overlap(0, 1), 5);
+  EXPECT_TRUE(wa2.critical_targets()[0]);
+  EXPECT_TRUE(wa2.critical_targets()[1]);
+}
+
+TEST(WindowAnalysis, RejectsBadWindowSize) {
+  const auto t = make_hand_trace();
+  EXPECT_THROW(window_analysis(t, 0), invalid_argument_error);
+  EXPECT_THROW(window_analysis(t, -5), invalid_argument_error);
+}
+
+TEST(WindowAnalysis, EmptyTraceYieldsZeroes) {
+  trace t(3, 1, 1000);
+  const window_analysis wa(t, 100);
+  EXPECT_EQ(wa.num_windows(), 10);
+  EXPECT_EQ(wa.comm(0, 5), 0);
+  EXPECT_EQ(wa.total_overlap(0, 1), 0);
+  EXPECT_EQ(wa.peak_comm(2), 0);
+}
+
+TEST(WindowAnalysis, BoundsChecking) {
+  const auto t = make_hand_trace();
+  const window_analysis wa(t, 100);
+  EXPECT_THROW(wa.comm(5, 0), invalid_argument_error);
+  EXPECT_THROW(wa.comm(0, 9), invalid_argument_error);
+  EXPECT_THROW(wa.pair_window_overlap(0, 1, 9), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace stx::traffic

@@ -1,0 +1,144 @@
+// Unit tests for the deterministic RNG.
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/error.h"
+
+namespace stx {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  rng r(7);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  rng r(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.uniform_int(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  rng r(3);
+  EXPECT_EQ(r.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  rng r(19);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsPlausible) {
+  rng r(23);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  rng r(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, JitterClampsAtMinimum) {
+  rng r(31);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_GE(r.jitter(10, 50, 5), 5);
+  }
+}
+
+TEST(Rng, JitterStaysInBand) {
+  rng r(37);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = r.jitter(100, 10);
+    EXPECT_GE(v, 90);
+    EXPECT_LE(v, 110);
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsZeroWeights) {
+  rng r(41);
+  const std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(r.weighted_index(w), 1);
+  }
+}
+
+TEST(Rng, WeightedIndexRoughProportions) {
+  rng r(43);
+  const std::vector<double> w = {1.0, 3.0};
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (r.weighted_index(w) == 1) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.75, 0.03);
+}
+
+TEST(Rng, WeightedIndexRejectsAllZero) {
+  rng r(47);
+  EXPECT_THROW(r.weighted_index({0.0, 0.0}), invalid_argument_error);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  rng r(53);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  r.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  rng parent(99);
+  rng c1 = parent.split(1);
+  rng c2 = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.next_u64() == c2.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  rng p1(5), p2(5);
+  rng a = p1.split(3);
+  rng b = p2.split(3);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+}  // namespace
+}  // namespace stx

@@ -1,0 +1,61 @@
+// Unit tests for the ASCII table renderer.
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace stx {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  table t({"Type", "Avg"});
+  t.add_row({"shared", "35.1"});
+  t.add_row({"full", "6"});
+  const auto text = t.render();
+  EXPECT_NE(text.find("Type"), std::string::npos);
+  EXPECT_NE(text.find("shared"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(text.find("|---"), std::string::npos);
+}
+
+TEST(Table, CellBuilderTypesFormat) {
+  table t({"a", "b", "c", "d"});
+  t.cell("x").cell(3.14159, 2).cell(std::int64_t{42}).cell(7).end_row();
+  ASSERT_EQ(t.rows(), 1);
+  const auto text = t.render();
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongWidthRow) {
+  table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), invalid_argument_error);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(table({}), invalid_argument_error);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  table t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  const auto csv = t.render_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  table t({"x"});
+  t.add_row({"plain"});
+  EXPECT_EQ(t.render_csv(), "x\nplain\n");
+}
+
+TEST(FormatHelpers, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_ratio(3.5, 1), "3.5x");
+}
+
+}  // namespace
+}  // namespace stx

@@ -1,0 +1,114 @@
+// Unit tests for the paper-faithful MILP formulation (Eq. 3-9, Eq. 11).
+#include "xbar/milp_formulation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace stx::xbar {
+namespace {
+
+design_params basic_params(cycle_t ws = 100, int maxtb = 0) {
+  design_params p;
+  p.window_size = ws;
+  p.max_targets_per_bus = maxtb;
+  return p;
+}
+
+synthesis_input make_input(std::vector<std::vector<cycle_t>> comm,
+                           std::vector<std::vector<cycle_t>> om,
+                           std::vector<std::pair<int, int>> conflicts,
+                           const design_params& p) {
+  const auto n = comm.size();
+  std::vector<std::vector<bool>> conf(n, std::vector<bool>(n, false));
+  for (auto [i, j] : conflicts) {
+    conf[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = true;
+    conf[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = true;
+  }
+  if (om.empty()) om.assign(n, std::vector<cycle_t>(n, 0));
+  return synthesis_input(std::move(comm), std::move(om), std::move(conf),
+                         p.window_size, p);
+}
+
+TEST(MilpFormulation, VariableCountsMatchTheModel) {
+  // T=3, B=2, W=1: x: 3*2=6, sb: 3 pairs * 2 = 6, s: 3. Total 15.
+  const auto in = make_input({{10}, {10}, {10}}, {}, {}, basic_params());
+  const auto fm = build_feasibility_milp(in, 2);
+  EXPECT_EQ(fm.model.num_variables(), 15);
+  // Binding adds maxov.
+  const auto bm = build_binding_milp(in, 2);
+  EXPECT_EQ(bm.model.num_variables(), 16);
+  EXPECT_GE(bm.maxov, 0);
+  EXPECT_EQ(fm.maxov, -1);
+}
+
+TEST(MilpFormulation, RowCountsMatchTheModel) {
+  // T=3, B=2, W=2, maxtb set:
+  //   Eq3: 3, Eq4: B*W = 4 (all comm nonzero), Eq5: pairs*B*2 = 12,
+  //   Eq6: 3, Eq8: 2. No conflicts. Total 24.
+  const auto in = make_input({{10, 5}, {10, 5}, {10, 5}}, {}, {},
+                             basic_params(100, 2));
+  const auto fm = build_feasibility_milp(in, 2);
+  EXPECT_EQ(fm.model.num_rows(), 24);
+}
+
+TEST(MilpFormulation, ConflictAddsEqSevenRow) {
+  const auto base = make_input({{10}, {10}}, {}, {}, basic_params());
+  const auto with = make_input({{10}, {10}}, {}, {{0, 1}}, basic_params());
+  EXPECT_EQ(build_feasibility_milp(with, 2).model.num_rows(),
+            build_feasibility_milp(base, 2).model.num_rows() + 1);
+}
+
+TEST(MilpFormulation, FeasibilitySolveFindsValidBinding) {
+  const auto in = make_input({{60}, {60}, {30}}, {}, {}, basic_params());
+  const auto binding = solve_feasibility_milp(in, 2);
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_TRUE(in.binding_feasible(*binding, 2));
+  EXPECT_NE((*binding)[0], (*binding)[1]);  // 60+60 > 100
+}
+
+TEST(MilpFormulation, FeasibilityDetectsInfeasible) {
+  const auto in = make_input({{60}, {60}, {60}}, {}, {}, basic_params());
+  EXPECT_FALSE(solve_feasibility_milp(in, 2).has_value());
+}
+
+TEST(MilpFormulation, ConflictForcesSeparationInSolution) {
+  const auto in =
+      make_input({{10}, {10}}, {}, {{0, 1}}, basic_params());
+  const auto binding = solve_feasibility_milp(in, 2);
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_NE((*binding)[0], (*binding)[1]);
+}
+
+TEST(MilpFormulation, BindingMinimisesMaxOverlap) {
+  // Same instance as the bb_solver hand-optimum test.
+  std::vector<std::vector<cycle_t>> om = {
+      {0, 100, 10, 40}, {100, 0, 40, 10}, {10, 40, 0, 90}, {40, 10, 90, 0}};
+  const auto in = make_input({{25}, {25}, {25}, {25}}, om, {},
+                             basic_params(100, 2));
+  const auto sol = solve_binding_milp(in, 2);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->max_overlap, 10);
+  EXPECT_TRUE(in.binding_feasible(sol->binding, 2));
+}
+
+TEST(MilpFormulation, PairIndexIsCanonical) {
+  const auto in = make_input({{1}, {1}, {1}, {1}}, {}, {}, basic_params());
+  const auto fm = build_feasibility_milp(in, 2);
+  EXPECT_EQ(fm.pair_index(0, 1), 0);
+  EXPECT_EQ(fm.pair_index(1, 0), 0);  // unordered
+  EXPECT_EQ(fm.pair_index(2, 3), 5);
+  EXPECT_THROW(fm.pair_index(1, 1), invalid_argument_error);
+}
+
+TEST(MilpFormulation, MaxtbZeroMeansNoCardinalityRows) {
+  const auto unlimited = make_input({{10}, {10}}, {}, {},
+                                    basic_params(100, 0));
+  const auto limited = make_input({{10}, {10}}, {}, {},
+                                  basic_params(100, 1));
+  EXPECT_EQ(build_feasibility_milp(limited, 2).model.num_rows(),
+            build_feasibility_milp(unlimited, 2).model.num_rows() + 2);
+}
+
+}  // namespace
+}  // namespace stx::xbar

@@ -1,0 +1,77 @@
+// Golden regression test: the headline reproduction numbers.
+//
+// Pins the designed crossbar sizes of all five case-study applications at
+// the bench defaults (window 400, threshold 30%, maxtb 4, 120k-cycle
+// collection). If a workload or solver change shifts any of these, this
+// test fails before the bench output silently drifts away from
+// EXPERIMENTS.md. Paper reference: Mat1 8, Mat2 6, FFT 15, QSort 6,
+// DES 6 — we pin OUR reproduced values (7, 6, 13, 6, 6), three of which
+// match the paper exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "workloads/mpsoc_apps.h"
+#include "xbar/flow.h"
+
+namespace stx::xbar {
+namespace {
+
+flow_options bench_defaults() {
+  flow_options opts;
+  opts.horizon = 120'000;
+  opts.synth.params.window_size = 400;
+  opts.synth.params.overlap_threshold = 0.30;
+  opts.synth.params.max_targets_per_bus = 4;
+  return opts;
+}
+
+TEST(PaperShapes, Table2DesignedBusCounts) {
+  const std::map<std::string, std::pair<int, int>> expected = {
+      // app -> {full buses, designed buses (ours, pinned)}
+      {"Mat1", {25, 7}}, {"Mat2", {21, 6}}, {"FFT", {29, 13}},
+      {"QSort", {15, 6}}, {"DES", {19, 6}},
+  };
+  const auto opts = bench_defaults();
+  for (const auto& app : workloads::all_mpsoc_apps()) {
+    const auto report = run_design_flow(app, opts);
+    const auto& [full, designed] = expected.at(app.name);
+    EXPECT_EQ(report.full_buses, full) << app.name;
+    EXPECT_EQ(report.designed_buses, designed) << app.name;
+  }
+}
+
+TEST(PaperShapes, Table1LatencyOrdering) {
+  // shared >> designed-partial >= full on average latency; the designed
+  // partial stays within 1.6x of full (paper: 9.9 vs 6 = 1.65x).
+  const auto app = workloads::make_mat2();
+  const auto opts = bench_defaults();
+  const auto report = run_design_flow(app, opts);
+  const auto shared = validate_configuration(
+      app, sim::crossbar_config::shared(app.num_targets),
+      sim::crossbar_config::shared(app.num_initiators), opts);
+  EXPECT_GT(shared.avg_latency, 2.5 * report.full.avg_latency);
+  EXPECT_LT(report.designed.avg_latency, 1.6 * report.full.avg_latency);
+  EXPECT_GE(report.designed.avg_latency,
+            report.full.avg_latency * 0.95);
+}
+
+TEST(PaperShapes, Fig4AverageDesignIsWorseOnEveryApp) {
+  const auto opts = bench_defaults();
+  for (const auto& app : workloads::all_mpsoc_apps()) {
+    const auto traces = collect_traces(app, opts);
+    const auto avg_req = design_average_traffic(traces.request);
+    const auto avg_resp = design_average_traffic(traces.response);
+    const auto avg_m = validate_configuration(
+        app, avg_req.to_config(opts.policy, opts.transfer_overhead),
+        avg_resp.to_config(opts.policy, opts.transfer_overhead), opts);
+    const auto report = run_design_flow(app, opts);
+    EXPECT_GT(avg_m.avg_latency, report.designed.avg_latency) << app.name;
+    EXPECT_GE(avg_m.max_latency, report.designed.max_latency * 0.99)
+        << app.name;
+  }
+}
+
+}  // namespace
+}  // namespace stx::xbar

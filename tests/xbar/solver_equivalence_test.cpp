@@ -1,0 +1,156 @@
+// Property tests: the specialised solver, the paper-faithful MILP and
+// brute-force enumeration agree on feasibility, minimum bus count and the
+// optimal Eq. 11 objective.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "util/random.h"
+#include "xbar/bb_solver.h"
+#include "xbar/milp_formulation.h"
+#include "xbar/synthesis.h"
+
+namespace stx::xbar {
+namespace {
+
+struct random_instance {
+  synthesis_input input;
+};
+
+synthesis_input make_random_input(rng& r) {
+  const int T = static_cast<int>(r.uniform_int(3, 7));
+  const int W = static_cast<int>(r.uniform_int(1, 4));
+  const cycle_t WS = 100;
+  design_params p;
+  p.window_size = WS;
+  p.max_targets_per_bus =
+      r.chance(0.5) ? static_cast<int>(r.uniform_int(2, 4)) : 0;
+
+  std::vector<std::vector<cycle_t>> comm(
+      static_cast<std::size_t>(T),
+      std::vector<cycle_t>(static_cast<std::size_t>(W), 0));
+  for (auto& row : comm) {
+    for (auto& c : row) c = r.uniform_int(0, 70);
+  }
+  std::vector<std::vector<cycle_t>> om(
+      static_cast<std::size_t>(T),
+      std::vector<cycle_t>(static_cast<std::size_t>(T), 0));
+  std::vector<std::vector<bool>> conf(
+      static_cast<std::size_t>(T),
+      std::vector<bool>(static_cast<std::size_t>(T), false));
+  for (int i = 0; i < T; ++i) {
+    for (int j = i + 1; j < T; ++j) {
+      const auto si = static_cast<std::size_t>(i);
+      const auto sj = static_cast<std::size_t>(j);
+      om[si][sj] = om[sj][si] = r.uniform_int(0, 50);
+      conf[si][sj] = conf[sj][si] = r.chance(0.15);
+    }
+  }
+  return synthesis_input(std::move(comm), std::move(om), std::move(conf),
+                         WS, p);
+}
+
+/// Exhaustive check: enumerate all B^T bindings.
+struct brute_outcome {
+  bool feasible = false;
+  cycle_t best_overlap = std::numeric_limits<cycle_t>::max();
+};
+
+brute_outcome brute_force(const synthesis_input& in, int num_buses) {
+  brute_outcome out;
+  const int T = in.num_targets();
+  std::vector<int> binding(static_cast<std::size_t>(T), 0);
+  std::int64_t total = 1;
+  for (int i = 0; i < T; ++i) total *= num_buses;
+  for (std::int64_t code = 0; code < total; ++code) {
+    std::int64_t c = code;
+    for (int i = 0; i < T; ++i) {
+      binding[static_cast<std::size_t>(i)] =
+          static_cast<int>(c % num_buses);
+      c /= num_buses;
+    }
+    if (!in.binding_feasible(binding, num_buses)) continue;
+    out.feasible = true;
+    out.best_overlap =
+        std::min(out.best_overlap, in.max_bus_overlap(binding, num_buses));
+  }
+  return out;
+}
+
+class SolverEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverEquivalence, FeasibilityAgreesAcrossAllThreeEngines) {
+  rng r(static_cast<std::uint64_t>(GetParam()) * 612371 + 5);
+  const auto in = make_random_input(r);
+  const int B = static_cast<int>(r.uniform_int(1, 3));
+
+  const auto expected = brute_force(in, B);
+  const auto bb = find_feasible_binding(in, B);
+  EXPECT_EQ(bb.has_value(), expected.feasible) << "seed " << GetParam();
+  if (bb.has_value()) {
+    EXPECT_TRUE(in.binding_feasible(*bb, B));
+  }
+
+  const auto milp = solve_feasibility_milp(in, B);
+  EXPECT_EQ(milp.has_value(), expected.feasible)
+      << "MILP disagrees, seed " << GetParam();
+}
+
+TEST_P(SolverEquivalence, OptimalOverlapAgreesAcrossAllThreeEngines) {
+  rng r(static_cast<std::uint64_t>(GetParam()) * 104147 + 19);
+  const auto in = make_random_input(r);
+  const int B = static_cast<int>(r.uniform_int(2, 3));
+
+  const auto expected = brute_force(in, B);
+  const auto bb = find_min_overlap_binding(in, B);
+  ASSERT_EQ(bb.has_value(), expected.feasible) << "seed " << GetParam();
+  if (!expected.feasible) return;
+  ASSERT_TRUE(bb->proven_optimal);
+  EXPECT_EQ(bb->max_overlap, expected.best_overlap)
+      << "specialised solver suboptimal, seed " << GetParam();
+
+  const auto milp = solve_binding_milp(in, B);
+  ASSERT_TRUE(milp.has_value());
+  EXPECT_EQ(milp->max_overlap, expected.best_overlap)
+      << "MILP suboptimal, seed " << GetParam();
+}
+
+TEST_P(SolverEquivalence, MinimumBusCountAgreesWithLinearScan) {
+  rng r(static_cast<std::uint64_t>(GetParam()) * 15551 + 3);
+  const auto in = make_random_input(r);
+
+  synthesis_options opts;
+  opts.params = in.params();
+  const int by_binary = min_feasible_buses(in, opts);
+
+  int by_scan = -1;
+  for (int k = 1; k <= in.num_targets(); ++k) {
+    if (find_feasible_binding(in, k).has_value()) {
+      by_scan = k;
+      break;
+    }
+  }
+  ASSERT_GT(by_scan, 0) << "full config must always be feasible";
+  EXPECT_EQ(by_binary, by_scan) << "seed " << GetParam();
+}
+
+TEST_P(SolverEquivalence, FeasibilityIsMonotoneInBusCount) {
+  rng r(static_cast<std::uint64_t>(GetParam()) * 74093 + 29);
+  const auto in = make_random_input(r);
+  bool was_feasible = false;
+  for (int k = 1; k <= in.num_targets(); ++k) {
+    const bool now_feasible = find_feasible_binding(in, k).has_value();
+    if (was_feasible) {
+      EXPECT_TRUE(now_feasible)
+          << "monotonicity violated at k=" << k << " seed " << GetParam();
+    }
+    was_feasible = was_feasible || now_feasible;
+  }
+  EXPECT_TRUE(was_feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverEquivalence, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace stx::xbar
