@@ -3,16 +3,23 @@
 // Design from a built-in application model:
 //   $ ./xbargen --app=mat2 --window=400 --threshold=0.3 --maxtb=4
 //
+// Design and generate deployable artifacts (phase 5):
+//   $ ./xbargen --app=mat2 --emit=sv,dot,json,report --out-dir=/tmp/mat2
+//
 // Or from a previously captured trace file (one crossbar direction):
 //   $ ./xbargen --app=mat2 --save-traces=/tmp/mat2   # writes .req/.resp
 //   $ ./xbargen --trace=/tmp/mat2.req --window=400
 //
 // Prints the designed configuration and (for --app runs) the validated
-// latency against the full crossbar. Exit code 0 on success.
+// latency against the full crossbar. Exit code 0 on success, 2 on bad
+// usage (unknown flag, unknown app, malformed --emit list).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "gen/registry.h"
 #include "util/flags.h"
 #include "workloads/mpsoc_apps.h"
 #include "workloads/synthetic.h"
@@ -21,6 +28,47 @@
 namespace {
 
 using namespace stx;
+
+void print_usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: xbargen [--app=NAME | --trace=FILE] [options]\n"
+      "  --app=NAME          built-in app "
+      "(mat1|mat2|mat2-critical|fft|qsort|des|synthetic)\n"
+      "  --trace=FILE        design one direction from a saved trace\n"
+      "  --save-traces=PATH  only collect traces, write PATH.req/.resp\n"
+      "  --emit=LIST         comma-separated artifact backends "
+      "(sv|dot|json|report|all)\n"
+      "  --out-dir=DIR       where --emit writes artifacts (default .)\n"
+      "  --window=N          analysis window size in cycles (400)\n"
+      "  --threshold=F       overlap threshold fraction (0.30)\n"
+      "  --maxtb=N           max targets per bus, 0=off (4)\n"
+      "  --conflicts=BOOL    overlap-conflict pre-processing (true)\n"
+      "  --critical=BOOL     separate critical streams (true)\n"
+      "  --solver=KIND       specialized|milp (specialized)\n"
+      "  --horizon=N         simulation cycles (120000)\n");
+}
+
+/// Every flag xbargen understands; anything else is an error (exit 2),
+/// never silently ignored.
+const std::vector<std::string> kKnownFlags = {
+    "app",      "trace",    "save-traces", "emit",     "out-dir",
+    "window",   "threshold", "maxtb",      "conflicts", "critical",
+    "solver",   "horizon",  "help",
+};
+
+int reject_unknown_flags(const flag_set& flags) {
+  int bad = 0;
+  for (const auto& name : flags.names()) {
+    if (std::find(kKnownFlags.begin(), kKnownFlags.end(), name) ==
+        kKnownFlags.end()) {
+      std::fprintf(stderr, "xbargen: unknown flag --%s\n", name.c_str());
+      ++bad;
+    }
+  }
+  if (bad > 0) print_usage(stderr);
+  return bad;
+}
 
 workloads::app_spec pick_app(const std::string& name) {
   using namespace stx::workloads;
@@ -38,6 +86,38 @@ workloads::app_spec pick_app(const std::string& name) {
   std::exit(2);
 }
 
+/// Parses --emit into backend registry names; "all" (or an empty item
+/// list) selects every registered backend. Unknown names exit 2.
+std::vector<std::string> parse_emit_list(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const auto comma = list.find(',', pos);
+    const auto item = list.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (item == "all") {
+      return gen::registry::instance().names();
+    }
+    if (!item.empty()) {
+      if (gen::registry::instance().find(item) == nullptr) {
+        std::fprintf(stderr, "xbargen: unknown --emit backend '%s'\n",
+                     item.c_str());
+        std::fprintf(stderr, "  registered:");
+        for (const auto& n : gen::registry::instance().names()) {
+          std::fprintf(stderr, " %s", n.c_str());
+        }
+        std::fprintf(stderr, "\n");
+        std::exit(2);
+      }
+      out.push_back(item);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) return gen::registry::instance().names();
+  return out;
+}
+
 xbar::synthesis_options synth_options(const flag_set& flags) {
   xbar::synthesis_options so;
   so.params.window_size = flags.get_int("window", 400);
@@ -53,6 +133,12 @@ xbar::synthesis_options synth_options(const flag_set& flags) {
 }
 
 int design_from_trace(const flag_set& flags) {
+  if (flags.has("emit")) {
+    std::fprintf(stderr,
+                 "xbargen: --emit needs the full two-direction flow; use "
+                 "--app instead of --trace\n");
+    return 2;
+  }
   const auto path = flags.get_string("trace", "");
   const auto t = traffic::trace::load_file(path);
   const auto design = xbar::synthesize_from_trace(t, synth_options(flags));
@@ -65,12 +151,24 @@ int design_from_trace(const flag_set& flags) {
 
 int design_from_app(const flag_set& flags) {
   const auto app = pick_app(flags.get_string("app", "mat2"));
+  // Resolve the backend selection up front: a typo in --emit must fail
+  // fast, not after minutes of simulation.
+  gen::generate_options gopts;
+  if (flags.has("emit")) {
+    gopts.backends = parse_emit_list(flags.get_string("emit", "all"));
+  }
   xbar::flow_options opts;
   opts.horizon = flags.get_int("horizon", 120'000);
   opts.synth = synth_options(flags);
 
   const auto save = flags.get_string("save-traces", "");
   if (!save.empty()) {
+    if (flags.has("emit")) {
+      std::fprintf(stderr,
+                   "xbargen: --save-traces only collects traces and emits "
+                   "no artifacts; drop --emit or --save-traces\n");
+      return 2;
+    }
     const auto traces = xbar::collect_traces(app, opts);
     traces.request.save_file(save + ".req");
     traces.response.save_file(save + ".resp");
@@ -98,6 +196,18 @@ int design_from_app(const flag_set& flags) {
     std::printf("critical avg: %.2f cy (full: %.2f)\n",
                 report.designed.avg_critical, report.full.avg_critical);
   }
+
+  // ---- Phase 5: artifact generation.
+  if (flags.has("emit")) {
+    const auto artifacts = xbar::generate_artifacts(report, gopts);
+    const auto out_dir = flags.get_string("out-dir", ".");
+    const auto paths = gen::write_artifacts(artifacts, out_dir);
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      std::printf("emitted     : %-7s -> %s (%zu bytes)\n",
+                  artifacts[i].backend.c_str(), paths[i].c_str(),
+                  artifacts[i].content.size());
+    }
+  }
   return 0;
 }
 
@@ -106,21 +216,10 @@ int design_from_app(const flag_set& flags) {
 int main(int argc, char** argv) {
   const flag_set flags(argc, argv);
   if (flags.has("help")) {
-    std::printf(
-        "usage: xbargen [--app=NAME | --trace=FILE] [options]\n"
-        "  --app=NAME          built-in app "
-        "(mat1|mat2|mat2-critical|fft|qsort|des|synthetic)\n"
-        "  --trace=FILE        design one direction from a saved trace\n"
-        "  --save-traces=PATH  only collect traces, write PATH.req/.resp\n"
-        "  --window=N          analysis window size in cycles (400)\n"
-        "  --threshold=F       overlap threshold fraction (0.30)\n"
-        "  --maxtb=N           max targets per bus, 0=off (4)\n"
-        "  --conflicts=BOOL    overlap-conflict pre-processing (true)\n"
-        "  --critical=BOOL     separate critical streams (true)\n"
-        "  --solver=KIND       specialized|milp (specialized)\n"
-        "  --horizon=N         simulation cycles (120000)\n");
+    print_usage(stdout);
     return 0;
   }
+  if (reject_unknown_flags(flags) > 0) return 2;
   try {
     if (flags.has("trace")) return design_from_trace(flags);
     return design_from_app(flags);

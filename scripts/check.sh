@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 build + tests with -Wall -Wextra -Werror, and optionally
+# the ASan/UBSan configuration.
+#
+#   scripts/check.sh          # strict warnings build + ctest
+#   scripts/check.sh --asan   # additionally build & test under ASan/UBSan
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_preset() {
+  local preset="$1"
+  echo "== configure ($preset) =="
+  cmake --preset "$preset"
+  echo "== build ($preset) =="
+  cmake --build --preset "$preset" -j "$(nproc)"
+  echo "== test ($preset) =="
+  ctest --preset "$preset" -j "$(nproc)"
+}
+
+run_preset strict
+
+if [[ "${1:-}" == "--asan" ]]; then
+  run_preset asan
+fi
+
+echo "check.sh: all green"

@@ -1,0 +1,50 @@
+#include "gen/artifact.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.h"
+
+namespace stx::gen {
+
+std::vector<std::string> write_artifacts(const std::vector<artifact>& arts,
+                                         const std::string& out_dir) {
+  STX_REQUIRE(!out_dir.empty(), "output directory must not be empty");
+  const std::filesystem::path dir(out_dir);
+  std::filesystem::create_directories(dir);
+
+  std::vector<std::string> paths;
+  paths.reserve(arts.size());
+  for (const auto& a : arts) {
+    STX_REQUIRE(!a.filename.empty(),
+                "artifact from backend '" + a.backend + "' has no filename");
+    const auto path = dir / a.filename;
+    std::ofstream out(path);
+    STX_REQUIRE(out.good(), "cannot open " + path.string() + " for writing");
+    out << a.content;
+    out.close();
+    STX_REQUIRE(out.good(), "failed writing " + path.string());
+    paths.push_back(path.string());
+  }
+  return paths;
+}
+
+std::string sanitize_basename(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      out.push_back('_');
+    }
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out.front()))) {
+    out.insert(out.begin(), 'x');
+  }
+  return out;
+}
+
+}  // namespace stx::gen

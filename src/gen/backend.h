@@ -1,0 +1,57 @@
+// Generation backend interface (the "Generation" box of the paper's
+// Fig. 3 flow): a backend renders a synthesised xbar::flow_report into one
+// deployable artifact. Backends are stateless; the registry owns one
+// instance of each and hands out const pointers.
+#pragma once
+
+#include <string>
+
+#include "gen/artifact.h"
+#include "xbar/flow.h"
+
+namespace stx::gen {
+
+class backend {
+ public:
+  virtual ~backend() = default;
+
+  /// Registry key and CLI spelling, e.g. "sv", "dot", "json", "report".
+  virtual std::string name() const = 0;
+  /// Filename extension including the dot, e.g. ".sv".
+  virtual std::string extension() const = 0;
+  /// One-line description for --help style listings.
+  virtual std::string description() const = 0;
+
+  /// Renders the artifact body. `basename` is the sanitised filename stem
+  /// the caller chose; backends embed it wherever the artifact needs an
+  /// identifier (RTL module prefix, DOT graph name) so file and content
+  /// names always agree. Must be deterministic for a given input pair.
+  virtual std::string emit(const xbar::flow_report& report,
+                           const std::string& basename) const = 0;
+
+  /// emit() wrapped into an artifact named `<basename><extension>`.
+  artifact make(const xbar::flow_report& report,
+                const std::string& basename) const;
+};
+
+// Shared helpers for backends consuming a flow_report.
+
+/// report.target_names padded with "tgt<i>" placeholders up to
+/// num_targets (reports parsed from JSON or built by hand may be short).
+std::vector<std::string> padded_target_names(const xbar::flow_report& r);
+
+/// Busy-cycle totals per receiver (column sums of a link matrix),
+/// zero-filled to length `n` even when the matrix is empty or ragged.
+std::vector<traffic::cycle_t> receiver_totals(
+    const std::vector<std::vector<traffic::cycle_t>>& links, int n);
+
+/// Validates one direction's design against the report's endpoint count:
+/// matching target count, at least one bus, binding sized and in range.
+/// Throws stx::invalid_argument_error (named with `which`) on violation —
+/// backends call this first so malformed reports (e.g. hand-edited JSON
+/// fed through parse_design) fail cleanly instead of indexing out of
+/// bounds.
+void check_design(const xbar::crossbar_design& d, int num_dst,
+                  const char* which);
+
+}  // namespace stx::gen

@@ -1,0 +1,23 @@
+// Graphviz DOT backend: renders the designed topology (initiators, both
+// directions' buses, targets, bindings) with per-link traffic weights.
+#pragma once
+
+#include "gen/backend.h"
+
+namespace stx::gen {
+
+/// Registry name "dot". Layout: initiators | request buses | targets |
+/// response buses as ranked clusters; edges carry the phase-1 busy-cycle
+/// totals as labels and scale their pen width with relative load.
+class dot_backend : public backend {
+ public:
+  std::string name() const override { return "dot"; }
+  std::string extension() const override { return ".dot"; }
+  std::string description() const override {
+    return "Graphviz topology graph with traffic-weighted links";
+  }
+  std::string emit(const xbar::flow_report& report,
+                   const std::string& basename) const override;
+};
+
+}  // namespace stx::gen

@@ -1,0 +1,361 @@
+#include "gen/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace stx::gen::json {
+
+bool value::as_bool() const {
+  STX_REQUIRE(is_bool(), "JSON value is not a boolean");
+  return std::get<bool>(v_);
+}
+
+std::int64_t value::as_int() const {
+  STX_REQUIRE(is_int(), "JSON value is not an integer");
+  return std::get<std::int64_t>(v_);
+}
+
+double value::as_double() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(v_));
+  STX_REQUIRE(is_double(), "JSON value is not a number");
+  return std::get<double>(v_);
+}
+
+const std::string& value::as_string() const {
+  STX_REQUIRE(is_string(), "JSON value is not a string");
+  return std::get<std::string>(v_);
+}
+
+const array& value::as_array() const {
+  STX_REQUIRE(is_array(), "JSON value is not an array");
+  return std::get<array>(v_);
+}
+
+const object& value::as_object() const {
+  STX_REQUIRE(is_object(), "JSON value is not an object");
+  return std::get<object>(v_);
+}
+
+const value& value::at(const std::string& key) const {
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return v;
+  }
+  throw invalid_argument_error("JSON object has no member '" + key + "'");
+}
+
+bool value::contains(const std::string& key) const {
+  if (!is_object()) return false;
+  for (const auto& [k, v] : std::get<object>(v_)) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void write_escaped(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_value(std::ostringstream& out, const value& v, int depth) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  const std::string inner(static_cast<std::size_t>(depth + 1) * 2, ' ');
+  if (v.is_null()) {
+    out << "null";
+  } else if (v.is_bool()) {
+    out << (v.as_bool() ? "true" : "false");
+  } else if (v.is_int()) {
+    out << v.as_int();
+  } else if (v.is_double()) {
+    const double d = v.as_double();
+    STX_REQUIRE(std::isfinite(d), "JSON cannot represent non-finite numbers");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out << buf;
+    // Keep the number recognisable as a double after a round-trip.
+    const std::string s(buf);
+    if (s.find('.') == std::string::npos &&
+        s.find('e') == std::string::npos &&
+        s.find("inf") == std::string::npos) {
+      out << ".0";
+    }
+  } else if (v.is_string()) {
+    write_escaped(out, v.as_string());
+  } else if (v.is_array()) {
+    const auto& a = v.as_array();
+    if (a.empty()) {
+      out << "[]";
+      return;
+    }
+    // Arrays of scalars stay on one line; nested structures get one
+    // element per line for readable diffs.
+    bool scalar = true;
+    for (const auto& e : a) {
+      if (e.is_array() || e.is_object()) scalar = false;
+    }
+    out << '[';
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (scalar) {
+        if (i > 0) out << ", ";
+      } else {
+        out << (i > 0 ? ",\n" : "\n") << inner;
+      }
+      write_value(out, a[i], depth + 1);
+    }
+    if (!scalar) out << '\n' << pad;
+    out << ']';
+  } else {
+    const auto& o = v.as_object();
+    if (o.empty()) {
+      out << "{}";
+      return;
+    }
+    out << '{';
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      out << (i > 0 ? ",\n" : "\n") << inner;
+      write_escaped(out, o[i].first);
+      out << ": ";
+      write_value(out, o[i].second, depth + 1);
+    }
+    out << '\n' << pad << '}';
+  }
+}
+
+class parser {
+ public:
+  explicit parser(const std::string& text) : text_(text) {}
+
+  value run() {
+    skip_ws();
+    auto v = parse_value();
+    skip_ws();
+    STX_REQUIRE(pos_ == text_.size(),
+                "trailing characters after JSON document at offset " +
+                    std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw invalid_argument_error("JSON parse error at offset " +
+                                 std::to_string(pos_) + ": " + what);
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  value parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return value(parse_string());
+      case 't':
+        if (consume_literal("true")) return value(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return value(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return value(nullptr);
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  value parse_object() {
+    expect('{');
+    object o;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return value(std::move(o));
+    }
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      o.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return value(std::move(o));
+  }
+
+  value parse_array() {
+    expect('[');
+    array a;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return value(std::move(a));
+    }
+    while (true) {
+      skip_ws();
+      a.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return value(std::move(a));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = take();
+      if (c == '"') break;
+      if (c == '\\') {
+        const char esc = take();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = take();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                fail("invalid \\u escape");
+            }
+            // Only the BMP subset our writer emits (control characters).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else {
+              fail("non-ASCII \\u escapes are not supported");
+            }
+            break;
+          }
+          default: fail("invalid escape sequence");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        if (c == '.' || c == 'e' || c == 'E') is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") fail("invalid number");
+    char* end = nullptr;
+    if (!is_double) {
+      errno = 0;
+      const auto i = std::strtoll(tok.c_str(), &end, 10);
+      if (end == tok.c_str() + tok.size() && errno == 0) {
+        return value(static_cast<std::int64_t>(i));
+      }
+    }
+    end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) fail("invalid number '" + tok + "'");
+    return value(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string dump(const value& v) {
+  std::ostringstream out;
+  write_value(out, v, 0);
+  out << '\n';
+  return out.str();
+}
+
+value parse(const std::string& text) { return parser(text).run(); }
+
+}  // namespace stx::gen::json

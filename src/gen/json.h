@@ -1,0 +1,74 @@
+// Minimal JSON document model, writer and parser for the gen subsystem.
+//
+// Scope: exactly what the JSON backend needs — objects (insertion-ordered),
+// arrays, strings, 64-bit integers, doubles, booleans, null. Doubles are
+// written with 17 significant digits so every finite value round-trips
+// bit-exactly through dump() + parse(). No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace stx::gen::json {
+
+class value;
+
+/// Insertion-ordered key/value list (keys are unique by construction in
+/// emitted documents; lookup returns the first match).
+using object = std::vector<std::pair<std::string, value>>;
+using array = std::vector<value>;
+
+class value {
+ public:
+  value() : v_(nullptr) {}
+  value(std::nullptr_t) : v_(nullptr) {}
+  value(bool b) : v_(b) {}
+  value(std::int64_t i) : v_(i) {}
+  value(int i) : v_(static_cast<std::int64_t>(i)) {}
+  value(double d) : v_(d) {}
+  value(const char* s) : v_(std::string(s)) {}
+  value(std::string s) : v_(std::move(s)) {}
+  value(array a) : v_(std::move(a)) {}
+  value(object o) : v_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<array>(v_); }
+  bool is_object() const { return std::holds_alternative<object>(v_); }
+
+  /// Typed accessors; throw stx::invalid_argument_error on mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;      ///< integers only
+  double as_double() const;         ///< accepts integers too
+  const std::string& as_string() const;
+  const array& as_array() const;
+  const object& as_object() const;
+
+  /// Object member lookup; throws when not an object or key is missing.
+  const value& at(const std::string& key) const;
+  /// True when this is an object holding `key`.
+  bool contains(const std::string& key) const;
+
+  bool operator==(const value& other) const { return v_ == other.v_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+               array, object>
+      v_;
+};
+
+/// Serialises `v` as pretty-printed JSON (2-space indent, trailing newline).
+std::string dump(const value& v);
+
+/// Parses one JSON document; trailing non-whitespace or malformed input
+/// throws stx::invalid_argument_error with position information.
+value parse(const std::string& text);
+
+}  // namespace stx::gen::json

@@ -1,0 +1,30 @@
+// JSON backend: the machine-readable design config, plus the matching
+// parser so a dumped design round-trips losslessly.
+#pragma once
+
+#include "gen/backend.h"
+
+namespace stx::gen {
+
+/// Registry name "json". Schema "stx-crossbar-design/v1": application
+/// shape and names, both directions' designs (params, binding, conflict
+/// summary, solver telemetry), validation metrics, cost summary, and the
+/// phase-1 link-traffic matrices. Doubles are written with 17 significant
+/// digits, so parse_design(emit(report)) == report holds exactly.
+class json_backend : public backend {
+ public:
+  std::string name() const override { return "json"; }
+  std::string extension() const override { return ".json"; }
+  std::string description() const override {
+    return "machine-readable design config (round-trips via parse_design)";
+  }
+  std::string emit(const xbar::flow_report& report,
+                   const std::string& basename) const override;
+};
+
+/// Parses a document produced by json_backend::emit back into a
+/// flow_report. Throws stx::invalid_argument_error on malformed input or
+/// an unknown schema tag.
+xbar::flow_report parse_design(const std::string& text);
+
+}  // namespace stx::gen

@@ -1,0 +1,117 @@
+#include "gen/registry.h"
+
+#include <sstream>
+
+#include "gen/dot_backend.h"
+#include "gen/json_backend.h"
+#include "gen/report_backend.h"
+#include "gen/rtl_backend.h"
+#include "util/error.h"
+
+namespace stx::gen {
+
+artifact backend::make(const xbar::flow_report& report,
+                       const std::string& basename) const {
+  artifact a;
+  a.backend = name();
+  a.filename = basename + extension();
+  a.content = emit(report, basename);
+  return a;
+}
+
+std::vector<std::string> padded_target_names(const xbar::flow_report& r) {
+  std::vector<std::string> names = r.target_names;
+  for (int t = static_cast<int>(names.size()); t < r.num_targets; ++t) {
+    names.push_back("tgt" + std::to_string(t));
+  }
+  return names;
+}
+
+std::vector<traffic::cycle_t> receiver_totals(
+    const std::vector<std::vector<traffic::cycle_t>>& links, int n) {
+  std::vector<traffic::cycle_t> out(static_cast<std::size_t>(n), 0);
+  for (const auto& row : links) {
+    for (std::size_t t = 0; t < row.size() && t < out.size(); ++t) {
+      out[t] += row[t];
+    }
+  }
+  return out;
+}
+
+void check_design(const xbar::crossbar_design& d, int num_dst,
+                  const char* which) {
+  STX_REQUIRE(d.num_targets == num_dst,
+              std::string(which) + " design target count disagrees with "
+                                   "the report endpoint count");
+  STX_REQUIRE(d.num_buses > 0, std::string(which) + " design has no buses");
+  STX_REQUIRE(static_cast<int>(d.binding.size()) == num_dst,
+              std::string(which) + " binding size mismatch");
+  for (int b : d.binding) {
+    STX_REQUIRE(b >= 0 && b < d.num_buses,
+                std::string(which) + " binding references a bad bus id");
+  }
+}
+
+registry& registry::instance() {
+  static registry r = [] {
+    registry built;
+    built.add(std::make_unique<rtl_backend>());
+    built.add(std::make_unique<dot_backend>());
+    built.add(std::make_unique<json_backend>());
+    built.add(std::make_unique<report_backend>());
+    return built;
+  }();
+  return r;
+}
+
+void registry::add(std::unique_ptr<backend> b) {
+  STX_REQUIRE(b != nullptr, "cannot register a null backend");
+  STX_REQUIRE(find(b->name()) == nullptr,
+              "backend '" + b->name() + "' is already registered");
+  backends_.push_back(std::move(b));
+}
+
+const backend* registry::find(const std::string& name) const {
+  for (const auto& b : backends_) {
+    if (b->name() == name) return b.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) out.push_back(b->name());
+  return out;
+}
+
+std::vector<artifact> registry::generate(const xbar::flow_report& report,
+                                         const generate_options& opts) const {
+  const std::string basename = opts.basename.empty()
+                                   ? sanitize_basename(report.app_name)
+                                   : opts.basename;
+
+  std::vector<const backend*> selected;
+  if (opts.backends.empty()) {
+    for (const auto& b : backends_) selected.push_back(b.get());
+  } else {
+    for (const auto& name : opts.backends) {
+      const auto* b = find(name);
+      if (b == nullptr) {
+        std::ostringstream msg;
+        msg << "unknown generation backend '" << name << "' (registered:";
+        for (const auto& n : names()) msg << " " << n;
+        msg << ")";
+        throw invalid_argument_error(msg.str());
+      }
+      selected.push_back(b);
+    }
+  }
+
+  std::vector<artifact> out;
+  out.reserve(selected.size());
+  for (const auto* b : selected) out.push_back(b->make(report, basename));
+  return out;
+}
+
+}  // namespace stx::gen

@@ -1,0 +1,41 @@
+// Backend registry: name -> gen::backend resolution plus the one-call
+// generation entry point used by xbar::generate_artifacts().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/backend.h"
+
+namespace stx::gen {
+
+class registry {
+ public:
+  /// The process-wide registry, pre-loaded with the built-in backends
+  /// (sv, dot, json, report) in that order.
+  static registry& instance();
+
+  /// An empty registry (tests compose their own).
+  registry() = default;
+
+  /// Registers `b`; rejects duplicate names.
+  void add(std::unique_ptr<backend> b);
+
+  /// Lookup by name; nullptr when absent.
+  const backend* find(const std::string& name) const;
+
+  /// Registered names in registration order.
+  std::vector<std::string> names() const;
+
+  /// Runs the backends selected by `opts.backends` (all of them when the
+  /// list is empty) over `report`. Unknown names throw
+  /// stx::invalid_argument_error listing what is registered.
+  std::vector<artifact> generate(const xbar::flow_report& report,
+                                 const generate_options& opts) const;
+
+ private:
+  std::vector<std::unique_ptr<backend>> backends_;
+};
+
+}  // namespace stx::gen

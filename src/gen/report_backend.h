@@ -1,0 +1,21 @@
+// Markdown backend: human-readable design summary with the paper's
+// Table-1-style cost/savings numbers and the validation latencies.
+#pragma once
+
+#include "gen/backend.h"
+
+namespace stx::gen {
+
+/// Registry name "report".
+class report_backend : public backend {
+ public:
+  std::string name() const override { return "report"; }
+  std::string extension() const override { return ".md"; }
+  std::string description() const override {
+    return "Markdown design summary (cost, savings, latency tables)";
+  }
+  std::string emit(const xbar::flow_report& report,
+                   const std::string& basename) const override;
+};
+
+}  // namespace stx::gen

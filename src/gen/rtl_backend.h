@@ -1,0 +1,33 @@
+// SystemVerilog backend: emits an app-specific partial-crossbar RTL
+// instance (round-robin arbiter module, one crossbar module per
+// direction, a wiring top) from the synthesised bindings.
+#pragma once
+
+#include "gen/backend.h"
+
+namespace stx::gen {
+
+/// Registry name "sv". The generated file contains, in order:
+///   * `<base>_rr_arbiter`  — parameterized work-conserving round-robin
+///     arbiter (rotating one-hot priority pointer);
+///   * `<base>_req_xbar`    — initiator->target crossbar: one arbiter per
+///     bus, address decode from the request binding, per-target demux;
+///   * `<base>_resp_xbar`   — same structure for target->initiator;
+///   * `<base>_xbar`        — top level instantiating both directions.
+///
+/// Structural invariants relied on by tests and downstream tooling: each
+/// direction module instantiates exactly `num_buses` arbiters (instance
+/// names `u_arb_bus<k>`), and every receiving endpoint appears exactly
+/// once in the decode function and exactly once in the output demux.
+class rtl_backend : public backend {
+ public:
+  std::string name() const override { return "sv"; }
+  std::string extension() const override { return ".sv"; }
+  std::string description() const override {
+    return "SystemVerilog partial-crossbar RTL (arbiters + decode)";
+  }
+  std::string emit(const xbar::flow_report& report,
+                   const std::string& basename) const override;
+};
+
+}  // namespace stx::gen

@@ -29,6 +29,13 @@ bool flag_set::has(const std::string& name) const {
   return values_.count(name) > 0;
 }
 
+std::vector<std::string> flag_set::names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [name, value] : values_) out.push_back(name);
+  return out;
+}
+
 std::string flag_set::get_string(const std::string& name,
                                  const std::string& fallback) const {
   const auto it = values_.find(name);

@@ -29,6 +29,10 @@ class flag_set {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Names of every flag that was supplied, sorted. Drivers use this to
+  /// reject unknown flags instead of silently ignoring them.
+  std::vector<std::string> names() const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;

@@ -1,10 +1,25 @@
 #include "xbar/flow.h"
 
+#include "gen/registry.h"
 #include "util/error.h"
 
 namespace stx::xbar {
 
 namespace {
+
+/// Busy-cycle totals per (sender, receiver) link of one direction's trace.
+std::vector<std::vector<traffic::cycle_t>> link_totals(
+    const traffic::trace& t) {
+  std::vector<std::vector<traffic::cycle_t>> out(
+      static_cast<std::size_t>(t.num_initiators()),
+      std::vector<traffic::cycle_t>(static_cast<std::size_t>(t.num_targets()),
+                                    0));
+  for (const auto& e : t.events()) {
+    out[static_cast<std::size_t>(e.initiator)]
+       [static_cast<std::size_t>(e.target)] += e.end - e.begin;
+  }
+  return out;
+}
 
 validation_metrics measure(const sim::mpsoc_system& system) {
   validation_metrics out;
@@ -65,9 +80,18 @@ flow_report run_design_flow(const workloads::app_spec& app,
   app.validate();
   flow_report report;
   report.app_name = app.name;
+  report.num_initiators = app.num_initiators;
+  report.num_targets = app.num_targets;
+  report.target_names = app.target_names;
+  for (int t = static_cast<int>(report.target_names.size());
+       t < app.num_targets; ++t) {
+    report.target_names.push_back("tgt" + std::to_string(t));
+  }
 
   // ---- Phase 1: cycle-accurate simulation with full crossbars.
   const auto traces = collect_traces(app, opts);
+  report.request_traffic = link_totals(traces.request);
+  report.response_traffic = link_totals(traces.response);
 
   // ---- Phases 2+3: window analysis, pre-processing, synthesis — run
   // independently per direction, as the paper does.
@@ -101,6 +125,11 @@ flow_report run_design_flow(const workloads::app_spec& app,
   report.designed_buses =
       report.request_design.num_buses + report.response_design.num_buses;
   return report;
+}
+
+std::vector<gen::artifact> generate_artifacts(
+    const flow_report& report, const gen::generate_options& opts) {
+  return gen::registry::instance().generate(report, opts);
 }
 
 }  // namespace stx::xbar

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "gen/artifact.h"
 #include "workloads/app.h"
 #include "xbar/baselines.h"
 #include "xbar/synthesis.h"
@@ -22,6 +23,8 @@ struct validation_metrics {
   std::int64_t transactions = 0;
   std::int64_t iterations = 0;  ///< completed core loop iterations
   int total_buses = 0;          ///< request + response bus count
+
+  bool operator==(const validation_metrics&) const = default;
 };
 
 /// Flow knobs.
@@ -42,20 +45,35 @@ struct flow_options {
   std::uint64_t seed = 1;
 };
 
-/// Everything the flow produced for one application.
+/// Everything the flow produced for one application. This is also the
+/// input of the generation phase (src/gen/): artifact backends consume a
+/// flow_report and nothing else, so it carries the endpoint names and the
+/// phase-1 traffic totals alongside the two designs.
 struct flow_report {
   std::string app_name;
+  int num_initiators = 0;
+  int num_targets = 0;
+  /// Target names from the app spec ("tgt<i>" placeholders when absent).
+  std::vector<std::string> target_names;
   crossbar_design request_design;   ///< initiator->target crossbar
   crossbar_design response_design;  ///< target->initiator crossbar
   validation_metrics designed;      ///< the synthesised partial crossbars
   validation_metrics full;          ///< full crossbars reference
   int full_buses = 0;               ///< total buses of the full config
   int designed_buses = 0;           ///< total buses of the design
+  /// Phase-1 busy-cycle totals per link: request_traffic[i][t] counts the
+  /// cycles initiator i kept target t busy; response_traffic[t][i] the
+  /// reverse direction. Artifact backends use these as edge weights.
+  std::vector<std::vector<traffic::cycle_t>> request_traffic;
+  std::vector<std::vector<traffic::cycle_t>> response_traffic;
 
   double savings() const {
+    if (designed_buses == 0) return 0.0;
     return static_cast<double>(full_buses) /
            static_cast<double>(designed_buses);
   }
+
+  bool operator==(const flow_report&) const = default;
 };
 
 /// Runs phases 1-4 for `app` and returns the report. Deterministic for a
@@ -76,5 +94,12 @@ struct collected_traces {
 };
 collected_traces collect_traces(const workloads::app_spec& app,
                                 const flow_options& opts);
+
+/// Phase 5, "Generation" (the step Fig. 3 feeds into): renders `report`
+/// into deployable artifacts through the gen backend registry. Backend
+/// names are resolved via gen::registry; unknown names throw. Pure — use
+/// gen::write_artifacts to put the results on disk.
+std::vector<gen::artifact> generate_artifacts(const flow_report& report,
+                                              const gen::generate_options& opts);
 
 }  // namespace stx::xbar

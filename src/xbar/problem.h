@@ -38,6 +38,8 @@ struct design_params {
   /// Forces targets with overlapping critical (real-time) streams onto
   /// separate buses so their guarantees hold (Sec. 7.3).
   bool separate_critical = true;
+
+  bool operator==(const design_params&) const = default;
 };
 
 /// The pre-processed synthesis input: everything the MILPs consume.

@@ -78,6 +78,7 @@ crossbar_design synthesize(const synthesis_input& input,
   crossbar_design out;
   out.num_targets = input.num_targets();
   out.params = input.params();
+  out.num_conflicts = input.num_conflicts();
 
   out.num_buses = min_feasible_buses(input, opts, &out.probes);
 

@@ -41,11 +41,16 @@ struct crossbar_design {
   cycle_t max_overlap = 0;        ///< achieved Eq. 11 objective
   bool binding_optimal = true;    ///< proven optimal by the solver
   design_params params;
+  /// Conflicting target pairs in the pre-processed input (Eq. 2); kept so
+  /// reports and generated artifacts can summarise the conflict matrix.
+  int num_conflicts = 0;
 
   // Search telemetry.
   std::int64_t feasibility_nodes = 0;
   std::int64_t binding_nodes = 0;
   int probes = 0;                 ///< feasibility checks in binary search
+
+  bool operator==(const crossbar_design&) const = default;
 
   /// Ratio of a full crossbar's bus count to this design's (Table 2).
   double savings_vs_full() const {

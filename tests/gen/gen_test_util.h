@@ -1,0 +1,88 @@
+// Shared fixture data for the gen backend tests: a small hand-built
+// flow_report (no simulation needed) with every field populated, plus a
+// lazily computed real report from the mat2 design flow.
+#pragma once
+
+#include "workloads/mpsoc_apps.h"
+#include "xbar/flow.h"
+
+namespace stx::gen::testutil {
+
+/// 3 initiators, 5 targets; request 3 buses, response 2 buses. Doubles are
+/// chosen to be awkward (non-representable decimals) so round-trip tests
+/// actually exercise the 17-digit formatting.
+inline xbar::flow_report small_report() {
+  xbar::flow_report r;
+  r.app_name = "Unit App-1";
+  r.num_initiators = 3;
+  r.num_targets = 5;
+  r.target_names = {"Private0", "Private1", "SharedMem", "Semaphore",
+                    "IntDev"};
+
+  auto& rq = r.request_design;
+  rq.num_targets = 5;
+  rq.num_buses = 3;
+  rq.binding = {0, 1, 0, 1, 2};
+  rq.max_overlap = 123;
+  rq.binding_optimal = true;
+  rq.num_conflicts = 2;
+  rq.params.window_size = 400;
+  rq.params.overlap_threshold = 0.1 + 0.2;  // 0.30000000000000004
+  rq.params.max_targets_per_bus = 4;
+  rq.feasibility_nodes = 17;
+  rq.binding_nodes = 42;
+  rq.probes = 3;
+
+  auto& rs = r.response_design;
+  rs.num_targets = 3;
+  rs.num_buses = 2;
+  rs.binding = {0, 1, 0};
+  rs.max_overlap = 77;
+  rs.binding_optimal = false;
+  rs.num_conflicts = 1;
+  rs.params.window_size = 200;
+  rs.params.overlap_threshold = 1.0 / 3.0;
+  rs.params.max_targets_per_bus = 0;
+  rs.params.separate_critical = false;
+
+  r.designed.avg_latency = 10.0 / 3.0;
+  r.designed.max_latency = 91.0;
+  r.designed.p99_latency = 55.5;
+  r.designed.avg_critical = 7.25;
+  r.designed.max_critical = 12.0;
+  r.designed.packets = 1234;
+  r.designed.transactions = 345;
+  r.designed.iterations = 5;
+  r.designed.total_buses = 5;
+
+  r.full.avg_latency = 2.5;
+  r.full.max_latency = 40.0;
+  r.full.p99_latency = 9.75;
+  r.full.packets = 1300;
+  r.full.transactions = 360;
+  r.full.iterations = 6;
+  r.full.total_buses = 8;
+
+  r.full_buses = 8;
+  r.designed_buses = 5;
+  r.request_traffic = {{100, 0, 50, 0, 0},
+                       {0, 200, 50, 10, 0},
+                       {0, 0, 0, 10, 400}};
+  r.response_traffic = {{30, 0, 0},  {0, 60, 0}, {20, 20, 0},
+                        {0, 5, 5},   {0, 0, 120}};
+  return r;
+}
+
+/// One real report from the mat2 flow (short horizon), shared across all
+/// tests of a binary so the simulation runs once.
+inline const xbar::flow_report& mat2_report() {
+  static const xbar::flow_report r = [] {
+    xbar::flow_options opts;
+    opts.horizon = 30'000;
+    opts.synth.params.window_size = 400;
+    return xbar::run_design_flow(stx::workloads::make_mat2(), opts);
+  }();
+  return r;
+}
+
+}  // namespace stx::gen::testutil

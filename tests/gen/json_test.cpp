@@ -1,0 +1,91 @@
+// Unit tests for the minimal JSON document model, writer and parser.
+#include "gen/json.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace stx::gen::json {
+namespace {
+
+TEST(Json, ScalarRoundTrip) {
+  EXPECT_EQ(parse("null"), value(nullptr));
+  EXPECT_EQ(parse("true"), value(true));
+  EXPECT_EQ(parse("false"), value(false));
+  EXPECT_EQ(parse("42"), value(42));
+  EXPECT_EQ(parse("-7"), value(-7));
+  EXPECT_EQ(parse("\"hi\\nthere\""), value("hi\nthere"));
+}
+
+TEST(Json, IntegersStayIntegers) {
+  const auto v = parse("9007199254740993");  // not representable as double
+  ASSERT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 9007199254740993LL);
+}
+
+TEST(Json, AwkwardDoublesRoundTripExactly) {
+  for (double d : {0.1 + 0.2, 1.0 / 3.0, 1e-17, 1.7976931348623157e308,
+                   -2.2250738585072014e-308, 123456.789}) {
+    const auto text = dump(value(d));
+    const auto back = parse(text);
+    ASSERT_TRUE(back.is_double()) << text;
+    EXPECT_EQ(back.as_double(), d) << text;
+  }
+}
+
+TEST(Json, WholeDoublesKeepDoubleness) {
+  // 2.0 must not come back as the integer 2.
+  const auto back = parse(dump(value(2.0)));
+  ASSERT_TRUE(back.is_double());
+  EXPECT_EQ(back.as_double(), 2.0);
+}
+
+TEST(Json, NestedStructureRoundTrip) {
+  const value doc(object{
+      {"name", "mat2"},
+      {"buses", 4},
+      {"ratio", 1.75},
+      {"ok", true},
+      {"binding", array{value(0), value(1), value(0)}},
+      {"nested", object{{"empty_arr", array{}}, {"empty_obj", object{}}}},
+  });
+  EXPECT_EQ(parse(dump(doc)), doc);
+}
+
+TEST(Json, ObjectLookup) {
+  const auto v = parse(R"({"a": 1, "b": {"c": "x"}})");
+  EXPECT_EQ(v.at("a").as_int(), 1);
+  EXPECT_EQ(v.at("b").at("c").as_string(), "x");
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("z"));
+  EXPECT_THROW(v.at("z"), invalid_argument_error);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  EXPECT_THROW(parse("3").as_string(), invalid_argument_error);
+  EXPECT_THROW(parse("3.5").as_int(), invalid_argument_error);
+  EXPECT_THROW(parse("\"s\"").as_array(), invalid_argument_error);
+  // as_double accepts integers.
+  EXPECT_EQ(parse("3").as_double(), 3.0);
+}
+
+TEST(Json, MalformedInputThrows) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "1 2",
+        "\"unterminated", "{\"a\":1,}", "[1 2]", "nan", "--3"}) {
+    EXPECT_THROW(parse(bad), invalid_argument_error) << bad;
+  }
+}
+
+TEST(Json, StringEscapes) {
+  const std::string s = "tab\t quote\" slash\\ nl\n ctrl\x01";
+  EXPECT_EQ(parse(dump(value(s))).as_string(), s);
+}
+
+TEST(Json, WhitespaceTolerated) {
+  const auto v = parse("  { \"a\" : [ 1 , 2 ] }\n");
+  EXPECT_EQ(v.at("a").as_array().size(), 2u);
+}
+
+}  // namespace
+}  // namespace stx::gen::json

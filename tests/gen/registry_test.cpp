@@ -1,0 +1,134 @@
+// Backend registry: selection, ordering, errors, custom registration and
+// artifact writing.
+#include "gen/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gen_test_util.h"
+#include "util/error.h"
+
+namespace stx::gen {
+namespace {
+
+TEST(Registry, BuiltinsAreRegisteredInOrder) {
+  const auto names = registry::instance().names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "sv");
+  EXPECT_EQ(names[1], "dot");
+  EXPECT_EQ(names[2], "json");
+  EXPECT_EQ(names[3], "report");
+}
+
+TEST(Registry, FindResolvesEveryBuiltin) {
+  for (const auto& name : registry::instance().names()) {
+    const auto* b = registry::instance().find(name);
+    ASSERT_NE(b, nullptr) << name;
+    EXPECT_EQ(b->name(), name);
+    EXPECT_FALSE(b->extension().empty());
+    EXPECT_EQ(b->extension().front(), '.');
+    EXPECT_FALSE(b->description().empty());
+  }
+  EXPECT_EQ(registry::instance().find("vhdl"), nullptr);
+}
+
+TEST(Registry, GenerateSelectsRequestedBackends) {
+  const auto report = testutil::small_report();
+  generate_options opts;
+  opts.backends = {"json", "sv"};
+  const auto arts = registry::instance().generate(report, opts);
+  ASSERT_EQ(arts.size(), 2u);
+  EXPECT_EQ(arts[0].backend, "json");
+  EXPECT_EQ(arts[0].filename, "unit_app_1.json");
+  EXPECT_EQ(arts[1].backend, "sv");
+  EXPECT_EQ(arts[1].filename, "unit_app_1.sv");
+  EXPECT_FALSE(arts[0].content.empty());
+  EXPECT_FALSE(arts[1].content.empty());
+}
+
+TEST(Registry, EmptySelectionRunsEverything) {
+  const auto arts =
+      registry::instance().generate(testutil::small_report(), {});
+  ASSERT_EQ(arts.size(), 4u);
+  EXPECT_EQ(arts[0].filename, "unit_app_1.sv");
+  EXPECT_EQ(arts[3].filename, "unit_app_1.md");
+}
+
+TEST(Registry, UnknownBackendThrowsListingAvailable) {
+  generate_options opts;
+  opts.backends = {"verilog"};
+  try {
+    registry::instance().generate(testutil::small_report(), opts);
+    FAIL() << "expected invalid_argument_error";
+  } catch (const invalid_argument_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("verilog"), std::string::npos);
+    EXPECT_NE(what.find("sv"), std::string::npos);
+    EXPECT_NE(what.find("report"), std::string::npos);
+  }
+}
+
+TEST(Registry, ExplicitBasenameOverridesAppName) {
+  generate_options opts;
+  opts.backends = {"dot"};
+  opts.basename = "custom";
+  const auto arts =
+      registry::instance().generate(testutil::small_report(), opts);
+  ASSERT_EQ(arts.size(), 1u);
+  EXPECT_EQ(arts[0].filename, "custom.dot");
+}
+
+// A trivial backend to prove third-party registration works.
+class echo_backend : public backend {
+ public:
+  std::string name() const override { return "echo"; }
+  std::string extension() const override { return ".txt"; }
+  std::string description() const override { return "test backend"; }
+  std::string emit(const xbar::flow_report& r,
+                   const std::string& basename) const override {
+    return r.app_name + " as " + basename + "\n";
+  }
+};
+
+TEST(Registry, CustomBackendOnOwnRegistry) {
+  registry r;
+  r.add(std::make_unique<echo_backend>());
+  EXPECT_THROW(r.add(std::make_unique<echo_backend>()),
+               invalid_argument_error);  // duplicate name
+  const auto arts = r.generate(testutil::small_report(), {});
+  ASSERT_EQ(arts.size(), 1u);
+  // The registry hands backends the sanitised stem it names files with.
+  EXPECT_EQ(arts[0].content, "Unit App-1 as unit_app_1\n");
+}
+
+TEST(Artifact, SanitizeBasename) {
+  EXPECT_EQ(sanitize_basename("Mat2"), "mat2");
+  EXPECT_EQ(sanitize_basename("Unit App-1"), "unit_app_1");
+  EXPECT_EQ(sanitize_basename("2fast"), "x2fast");
+  EXPECT_EQ(sanitize_basename(""), "x");
+}
+
+TEST(Artifact, WriteArtifactsCreatesDirectoryAndFiles) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "stx_gen_registry_test" / "nested";
+  std::filesystem::remove_all(dir.parent_path());
+
+  const auto arts =
+      registry::instance().generate(testutil::small_report(), {});
+  const auto paths = write_artifacts(arts, dir.string());
+  ASSERT_EQ(paths.size(), arts.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::ifstream in(paths[i]);
+    ASSERT_TRUE(in.good()) << paths[i];
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, arts[i].content);
+  }
+  std::filesystem::remove_all(dir.parent_path());
+}
+
+}  // namespace
+}  // namespace stx::gen

@@ -75,5 +75,15 @@ TEST(Flags, LaterValueWins) {
   EXPECT_EQ(f.get_int("x", 0), 2);
 }
 
+TEST(Flags, NamesListsEverySuppliedFlagSorted) {
+  const auto f = parse({"--zeta=1", "--alpha", "--mid=x", "positional"});
+  const auto names = f.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "mid");
+  EXPECT_EQ(names[2], "zeta");
+  EXPECT_TRUE(parse({}).names().empty());
+}
+
 }  // namespace
 }  // namespace stx

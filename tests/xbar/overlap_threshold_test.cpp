@@ -1,0 +1,128 @@
+// Edge values of design_params::overlap_threshold (Sec. 7.4): at 0.0
+// every overlapping pair conflicts; above 0.5 the pre-processing adds no
+// constraint beyond the Eq. 4 bandwidth limit (two streams overlapping
+// more than half a window cannot share a bus anyway).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "traffic/windows.h"
+#include "xbar/problem.h"
+
+namespace stx::xbar {
+namespace {
+
+constexpr cycle_t kWS = 100;
+
+design_params params_with_threshold(double th) {
+  design_params p;
+  p.window_size = kWS;
+  p.overlap_threshold = th;
+  p.separate_critical = false;  // isolate the overlap-threshold rule
+  return p;
+}
+
+traffic::trace mixed_trace() {
+  traffic::trace t(/*num_targets=*/4, /*num_initiators=*/1,
+                   /*horizon=*/2 * kWS);
+  // Window 0: targets 0 and 1 overlap for 10 cycles; target 2 is busy but
+  // disjoint from both; target 3 idle.
+  t.add({0, 0, 0, 50, false});
+  t.add({1, 0, 40, 60, false});
+  t.add({2, 0, 60, 90, false});
+  // Window 1: targets 2 and 3 overlap for 20 cycles.
+  t.add({2, 0, 100, 130, false});
+  t.add({3, 0, 110, 160, false});
+  return t;
+}
+
+TEST(OverlapThreshold, ZeroConflictsEveryOverlappingPair) {
+  const auto t = mixed_trace();
+  const traffic::window_analysis wa(t, kWS);
+  const synthesis_input input(wa, params_with_threshold(0.0));
+
+  for (int i = 0; i < input.num_targets(); ++i) {
+    for (int j = i + 1; j < input.num_targets(); ++j) {
+      EXPECT_EQ(input.conflict(i, j), wa.max_window_overlap(i, j) > 0)
+          << "pair (" << i << "," << j << ")";
+    }
+  }
+  // Sanity: the trace has both kinds of pairs.
+  EXPECT_TRUE(input.conflict(0, 1));
+  EXPECT_TRUE(input.conflict(2, 3));
+  EXPECT_FALSE(input.conflict(0, 2));
+  EXPECT_FALSE(input.conflict(0, 3));
+}
+
+TEST(OverlapThreshold, ExactlyHalfWindowNeverTriggersAboveHalf) {
+  traffic::trace t(2, 1, kWS);
+  // Both targets busy [0, 50): overlap exactly WS/2.
+  t.add({0, 0, 0, 50, false});
+  t.add({1, 0, 0, 50, false});
+  const traffic::window_analysis wa(t, kWS);
+  ASSERT_EQ(wa.max_window_overlap(0, 1), kWS / 2);
+
+  for (double th : {0.5, 0.51, 0.75, 1.0}) {
+    const synthesis_input input(wa, params_with_threshold(th));
+    EXPECT_FALSE(input.conflict(0, 1)) << "threshold " << th;
+  }
+  // Control: below half it does trigger.
+  const synthesis_input tight(wa, params_with_threshold(0.25));
+  EXPECT_TRUE(tight.conflict(0, 1));
+}
+
+// The Sec. 7.4 claim, stated precisely: with threshold > 0.5, any pair
+// the pre-processing marks conflicting is already unable to share a bus
+// because some window's combined demand exceeds the bus bandwidth. So the
+// conflict rule never removes a binding that Eq. 4 would admit.
+TEST(OverlapThreshold, AboveHalfAddsNothingBeyondBandwidth) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> start_dist(0, 9 * kWS);
+  std::uniform_int_distribution<int> len_dist(1, 2 * kWS);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    traffic::trace t(/*num_targets=*/6, /*num_initiators=*/1,
+                     /*horizon=*/10 * kWS);
+    for (int e = 0; e < 30; ++e) {
+      const int tgt = static_cast<int>(rng() % 6);
+      const cycle_t begin = start_dist(rng);
+      const cycle_t end = begin + len_dist(rng);
+      t.add({tgt, 0, begin, end, false});
+    }
+    const traffic::window_analysis wa(t, kWS);
+
+    for (double th : {0.51, 0.6, 0.75, 0.99}) {
+      const synthesis_input input(wa, params_with_threshold(th));
+      for (int i = 0; i < input.num_targets(); ++i) {
+        for (int j = i + 1; j < input.num_targets(); ++j) {
+          if (!input.conflict(i, j)) continue;
+          bool bandwidth_excludes = false;
+          for (int m = 0; m < input.num_windows(); ++m) {
+            if (input.comm(i, m) + input.comm(j, m) > input.capacity(m)) {
+              bandwidth_excludes = true;
+              break;
+            }
+          }
+          EXPECT_TRUE(bandwidth_excludes)
+              << "trial " << trial << " threshold " << th << " pair (" << i
+              << "," << j << ") conflicts without a bandwidth violation";
+        }
+      }
+    }
+  }
+}
+
+TEST(OverlapThreshold, FullWindowOverlapStillConflictsAboveHalf) {
+  traffic::trace t(2, 1, kWS);
+  t.add({0, 0, 0, kWS, false});
+  t.add({1, 0, 0, kWS, false});
+  const traffic::window_analysis wa(t, kWS);
+  // Overlap is the whole window: above any threshold < 1.0, and the pair
+  // indeed cannot share a bus (comm sums to 2*WS).
+  const synthesis_input input(wa, params_with_threshold(0.75));
+  EXPECT_TRUE(input.conflict(0, 1));
+  EXPECT_GT(input.comm(0, 0) + input.comm(1, 0), input.capacity(0));
+}
+
+}  // namespace
+}  // namespace stx::xbar
