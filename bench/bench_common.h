@@ -1,14 +1,31 @@
 // Shared defaults for the table/figure reproduction harnesses.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "util/flags.h"
 #include "util/table.h"
 #include "workloads/mpsoc_apps.h"
 #include "xbar/flow.h"
 
 namespace stx::bench {
+
+/// Exits 2 when `flags` contains anything outside `known`: bench output
+/// feeds CI artifacts (BENCH_sweep.json), so a typo'd flag must not
+/// silently fall back to defaults — same contract as xbargen/xbar-sweep.
+inline void require_known_flags(const flag_set& flags,
+                                const std::vector<std::string>& known) {
+  if (report_unknown_flags(flags, known, "bench") > 0) {
+    std::fprintf(stderr, "bench: known flags:");
+    for (const auto& k : known) std::fprintf(stderr, " --%s", k.c_str());
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
+}
 
 /// Default flow settings used by every paper-reproduction bench: one
 /// uniform window size (~2-4x the apps' characteristic burst length),

@@ -16,17 +16,13 @@
 namespace {
 
 stx::workloads::app_spec pick_app(const std::string& name) {
-  using namespace stx::workloads;
-  if (name == "mat1") return make_mat1();
-  if (name == "mat2") return make_mat2();
-  if (name == "fft") return make_fft();
-  if (name == "qsort") return make_qsort();
-  if (name == "des") return make_des();
-  if (name == "synthetic") return make_synthetic();
-  std::fprintf(stderr,
-               "unknown --app=%s (mat1|mat2|fft|qsort|des|synthetic)\n",
-               name.c_str());
-  std::exit(1);
+  auto app = stx::workloads::make_app_by_name(name);
+  if (!app.has_value()) {
+    std::fprintf(stderr, "unknown --app=%s (%s)\n", name.c_str(),
+                 stx::workloads::app_name_list().c_str());
+    std::exit(1);
+  }
+  return *std::move(app);
 }
 
 }  // namespace

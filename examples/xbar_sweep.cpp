@@ -1,0 +1,193 @@
+// xbar-sweep — parallel design-space exploration over the methodology's
+// parameter grid.
+//
+//   $ ./xbar-sweep --app=mat2 --grid win=200,400,1000 --grid thr=0.1,0.3
+//                  --threads=4 --out-dir=/tmp/sweep
+//
+// Evaluates the cross product of every --grid axis on each application,
+// sharing the phase-1 full-crossbar trace per app through the trace
+// cache, prints the result table with its Pareto front, and (with
+// --out-dir) writes sweep.json / sweep.csv / sweep.md.
+//
+// Exit code 0 on success, 1 on runtime error, 2 on bad usage — including
+// an empty grid or an unknown --grid key: a sweep never silently runs
+// zero points.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "explore/sweep.h"
+#include "gen/artifact.h"
+#include "util/flags.h"
+#include "util/strings.h"
+#include "workloads/mpsoc_apps.h"
+#include "workloads/synthetic.h"
+
+namespace {
+
+using namespace stx;
+
+void print_usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: xbar-sweep --app=LIST --grid KEY=V1,V2,... [options]\n"
+      "  --app=LIST          comma list of apps, or 'all' "
+      "(mat1|mat2|mat2-critical|fft|qsort|des|synthetic)\n"
+      "  --grid KEY=V1,...   one sweep axis; repeatable; at least one "
+      "required\n"
+      "                      keys: win thr maxtb burstwin policy solver "
+      "reqwin respwin\n"
+      "  --threads=N         worker threads (default: hardware "
+      "concurrency)\n"
+      "  --horizon=N         simulation cycles (120000)\n"
+      "  --seed=N            simulator seed (1)\n"
+      "  --validate=BOOL     per-point validation simulation (true)\n"
+      "  --out-dir=DIR       write <basename>.json/.csv/.md artifacts\n"
+      "  --basename=NAME     artifact filename stem (sweep)\n"
+      "  --compare-serial    also time the equivalent per-point "
+      "run_design_flow loop\n");
+}
+
+const std::vector<std::string> kKnownFlags = {
+    "app",      "grid",     "threads",  "horizon",        "seed",
+    "validate", "out-dir",  "basename", "compare-serial", "help",
+};
+
+int reject_unknown_flags(const flag_set& flags) {
+  const int bad = report_unknown_flags(flags, kKnownFlags, "xbar-sweep");
+  if (bad > 0) print_usage(stderr);
+  return bad;
+}
+
+workloads::app_spec pick_app(const std::string& name) {
+  auto app = workloads::make_app_by_name(name);
+  if (!app.has_value()) {
+    std::fprintf(stderr, "xbar-sweep: unknown app '%s' (%s)\n", name.c_str(),
+                 workloads::app_name_list().c_str());
+    std::exit(2);
+  }
+  return *std::move(app);
+}
+
+std::vector<workloads::app_spec> pick_apps(const std::string& list) {
+  // "all" expands in place to the full inventory; duplicates anywhere in
+  // the expanded list are a usage error (app names key the trace cache).
+  std::vector<std::string> names;
+  for (const auto& item : split_list(list)) {
+    if (item == "all") {
+      names.insert(names.end(), workloads::app_names().begin(),
+                   workloads::app_names().end());
+    } else {
+      names.push_back(item);
+    }
+  }
+  if (names.empty()) {
+    std::fprintf(stderr, "xbar-sweep: --app list is empty\n");
+    std::exit(2);
+  }
+  std::vector<workloads::app_spec> apps;
+  for (const auto& name : names) {
+    if (std::count(names.begin(), names.end(), name) > 1) {
+      std::fprintf(stderr, "xbar-sweep: duplicate app '%s' in --app list\n",
+                   name.c_str());
+      std::exit(2);
+    }
+    apps.push_back(pick_app(name));
+  }
+  return apps;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const flag_set flags(argc, argv);
+  if (flags.has("help")) {
+    print_usage(stdout);
+    return 0;
+  }
+  if (reject_unknown_flags(flags) > 0) return 2;
+
+  explore::sweep_spec spec;
+  // Grid validation happens before anything expensive: an unknown key or
+  // an empty axis is a usage error, mirroring the unknown-flag rejection.
+  try {
+    spec.grid = explore::parse_grid(flags.get_list("grid"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "xbar-sweep: %s\n", e.what());
+    print_usage(stderr);
+    return 2;
+  }
+  if (spec.grid.empty()) {
+    std::fprintf(stderr,
+                 "xbar-sweep: empty grid — pass at least one "
+                 "--grid KEY=V1,V2,... axis\n");
+    print_usage(stderr);
+    return 2;
+  }
+
+  try {
+    spec.apps = pick_apps(flags.get_string("app", "mat2"));
+    spec.horizon = flags.get_int("horizon", 120'000);
+    spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    spec.validate = flags.get_bool("validate", true);
+    const int hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    spec.threads = static_cast<int>(flags.get_int("threads", hw));
+
+    const auto points = explore::sweep_points(spec);
+    std::printf("sweeping %zu point(s) x %zu app(s) on %d thread(s)\n",
+                points.size(), spec.apps.size(), spec.threads);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto report = explore::run_sweep(spec);
+    const double sweep_sec = seconds_since(t0);
+
+    std::printf("%s", explore::render_markdown(report).c_str());
+    std::printf("\nsweep wall-clock: %.2fs (%lld phase-1 + %lld reference "
+                "simulations for %zu evaluations)\n",
+                sweep_sec, static_cast<long long>(report.phase1_simulations),
+                static_cast<long long>(report.full_simulations),
+                report.results.size());
+
+    if (flags.has("compare-serial")) {
+      // The fair baseline does exactly what the sweep does per point —
+      // including skipping phase 4 under --validate=false — just without
+      // the trace cache or threads.
+      const auto t1 = std::chrono::steady_clock::now();
+      for (const auto& app : spec.apps) {
+        for (const auto& p : points) {
+          const auto opts = explore::options_for(spec, p);
+          const auto traces = xbar::collect_traces(app, opts);
+          (void)xbar::design_from_traces(app, traces, opts,
+                                         /*full=*/nullptr, spec.validate);
+        }
+      }
+      const double serial_sec = seconds_since(t1);
+      std::printf("serial per-point design-flow loop: %.2fs "
+                  "(speedup %.2fx)\n",
+                  serial_sec, serial_sec / sweep_sec);
+    }
+
+    const auto out_dir = flags.get_string("out-dir", "");
+    if (!out_dir.empty()) {
+      const auto arts = explore::render_artifacts(
+          report, flags.get_string("basename", "sweep"));
+      const auto paths = gen::write_artifacts(arts, out_dir);
+      for (std::size_t i = 0; i < paths.size(); ++i) {
+        std::printf("emitted: %-9s -> %s (%zu bytes)\n",
+                    arts[i].backend.c_str(), paths[i].c_str(),
+                    arts[i].content.size());
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "xbar-sweep: %s\n", e.what());
+    return 1;
+  }
+}

@@ -13,14 +13,18 @@
 // Prints the designed configuration and (for --app runs) the validated
 // latency against the full crossbar. Exit code 0 on success, 2 on bad
 // usage (unknown flag, unknown app, malformed --emit list).
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "util/error.h"
+
+#include "explore/sweep.h"
 #include "gen/registry.h"
 #include "util/flags.h"
+#include "util/strings.h"
 #include "workloads/mpsoc_apps.h"
 #include "workloads/synthetic.h"
 #include "xbar/flow.h"
@@ -46,7 +50,15 @@ void print_usage(std::FILE* to) {
       "  --conflicts=BOOL    overlap-conflict pre-processing (true)\n"
       "  --critical=BOOL     separate critical streams (true)\n"
       "  --solver=KIND       specialized|milp (specialized)\n"
-      "  --horizon=N         simulation cycles (120000)\n");
+      "  --horizon=N         simulation cycles (120000)\n"
+      "  --grid KEY=V1,...   sweep an axis instead of one design point "
+      "(repeatable;\n"
+      "                      keys: win thr maxtb burstwin policy solver "
+      "reqwin respwin);\n"
+      "                      unswept axes take their values from the "
+      "flags above\n"
+      "  --threads=N         sweep worker threads (hardware "
+      "concurrency)\n");
 }
 
 /// Every flag xbargen understands; anything else is an error (exit 2),
@@ -54,65 +66,44 @@ void print_usage(std::FILE* to) {
 const std::vector<std::string> kKnownFlags = {
     "app",      "trace",    "save-traces", "emit",     "out-dir",
     "window",   "threshold", "maxtb",      "conflicts", "critical",
-    "solver",   "horizon",  "help",
+    "solver",   "horizon",  "grid",        "threads",  "help",
 };
 
 int reject_unknown_flags(const flag_set& flags) {
-  int bad = 0;
-  for (const auto& name : flags.names()) {
-    if (std::find(kKnownFlags.begin(), kKnownFlags.end(), name) ==
-        kKnownFlags.end()) {
-      std::fprintf(stderr, "xbargen: unknown flag --%s\n", name.c_str());
-      ++bad;
-    }
-  }
+  const int bad = report_unknown_flags(flags, kKnownFlags, "xbargen");
   if (bad > 0) print_usage(stderr);
   return bad;
 }
 
 workloads::app_spec pick_app(const std::string& name) {
-  using namespace stx::workloads;
-  if (name == "mat1") return make_mat1();
-  if (name == "mat2") return make_mat2();
-  if (name == "mat2-critical") return make_mat2_critical();
-  if (name == "fft") return make_fft();
-  if (name == "qsort") return make_qsort();
-  if (name == "des") return make_des();
-  if (name == "synthetic") return make_synthetic();
-  std::fprintf(stderr,
-               "xbargen: unknown --app=%s "
-               "(mat1|mat2|mat2-critical|fft|qsort|des|synthetic)\n",
-               name.c_str());
-  std::exit(2);
+  auto app = workloads::make_app_by_name(name);
+  if (!app.has_value()) {
+    std::fprintf(stderr, "xbargen: unknown --app=%s (%s)\n", name.c_str(),
+                 workloads::app_name_list().c_str());
+    std::exit(2);
+  }
+  return *std::move(app);
 }
 
 /// Parses --emit into backend registry names; "all" (or an empty item
 /// list) selects every registered backend. Unknown names exit 2.
 std::vector<std::string> parse_emit_list(const std::string& list) {
   std::vector<std::string> out;
-  std::size_t pos = 0;
-  while (pos <= list.size()) {
-    const auto comma = list.find(',', pos);
-    const auto item = list.substr(
-        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+  for (const auto& item : split_list(list)) {
     if (item == "all") {
       return gen::registry::instance().names();
     }
-    if (!item.empty()) {
-      if (gen::registry::instance().find(item) == nullptr) {
-        std::fprintf(stderr, "xbargen: unknown --emit backend '%s'\n",
-                     item.c_str());
-        std::fprintf(stderr, "  registered:");
-        for (const auto& n : gen::registry::instance().names()) {
-          std::fprintf(stderr, " %s", n.c_str());
-        }
-        std::fprintf(stderr, "\n");
-        std::exit(2);
+    if (gen::registry::instance().find(item) == nullptr) {
+      std::fprintf(stderr, "xbargen: unknown --emit backend '%s'\n",
+                   item.c_str());
+      std::fprintf(stderr, "  registered:");
+      for (const auto& n : gen::registry::instance().names()) {
+        std::fprintf(stderr, " %s", n.c_str());
       }
-      out.push_back(item);
+      std::fprintf(stderr, "\n");
+      std::exit(2);
     }
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
+    out.push_back(item);
   }
   if (out.empty()) return gen::registry::instance().names();
   return out;
@@ -130,6 +121,70 @@ xbar::synthesis_options synth_options(const flag_set& flags) {
     so.solver = xbar::solver_kind::generic_milp;
   }
   return so;
+}
+
+/// --grid mode: a design-space sweep over one application through the
+/// explore engine. The scalar flags (--window, --threshold, ...) supply
+/// the value of every axis the grid does not sweep. Grid validation is
+/// fail-fast: an empty grid or an unknown axis key exits 2 with usage,
+/// exactly like an unknown flag, before any simulation starts.
+int run_grid_sweep(const flag_set& flags) {
+  // Grid mode designs from an app model; the other modes' flags would be
+  // silently ignored here, so reject the combinations outright.
+  for (const char* other : {"trace", "emit", "save-traces"}) {
+    if (flags.has(other)) {
+      std::fprintf(stderr,
+                   "xbargen: --grid cannot be combined with --%s\n", other);
+      return 2;
+    }
+  }
+  explore::sweep_spec spec;
+  try {
+    spec.grid = explore::parse_grid(flags.get_list("grid"));
+    if (spec.grid.empty()) {
+      throw invalid_argument_error(
+          "empty grid — pass at least one --grid KEY=V1,V2,... axis");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "xbargen: %s\n", e.what());
+    print_usage(stderr);
+    return 2;
+  }
+
+  // Unswept axes inherit the single-point flags; flags without an axis
+  // (--conflicts, --critical) flow in through the synthesis base.
+  const auto base = synth_options(flags);
+  spec.synth_base = base;
+  auto& g = spec.grid;
+  if (g.window_sizes.empty()) g.window_sizes = {base.params.window_size};
+  if (g.overlap_thresholds.empty()) {
+    g.overlap_thresholds = {base.params.overlap_threshold};
+  }
+  if (g.max_targets_per_bus.empty()) {
+    g.max_targets_per_bus = {base.params.max_targets_per_bus};
+  }
+  if (g.solvers.empty()) g.solvers = {base.solver};
+
+  spec.apps = {pick_app(flags.get_string("app", "mat2"))};
+  spec.horizon = flags.get_int("horizon", 120'000);
+  const unsigned hw = std::thread::hardware_concurrency();
+  spec.threads = static_cast<int>(
+      flags.get_int("threads", hw == 0 ? 1 : hw));
+
+  const auto report = explore::run_sweep(spec);
+  std::printf("%s", explore::render_markdown(report).c_str());
+
+  const auto out_dir = flags.get_string("out-dir", "");
+  if (!out_dir.empty()) {
+    const auto arts = explore::render_artifacts(report, "sweep");
+    const auto paths = gen::write_artifacts(arts, out_dir);
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      std::printf("emitted     : %-9s -> %s (%zu bytes)\n",
+                  arts[i].backend.c_str(), paths[i].c_str(),
+                  arts[i].content.size());
+    }
+  }
+  return 0;
 }
 
 int design_from_trace(const flag_set& flags) {
@@ -221,6 +276,7 @@ int main(int argc, char** argv) {
   }
   if (reject_unknown_flags(flags) > 0) return 2;
   try {
+    if (flags.has("grid")) return run_grid_sweep(flags);
     if (flags.has("trace")) return design_from_trace(flags);
     return design_from_app(flags);
   } catch (const std::exception& e) {

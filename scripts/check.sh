@@ -2,25 +2,115 @@
 # CI gate: tier-1 build + tests with -Wall -Wextra -Werror, and optionally
 # the ASan/UBSan configuration.
 #
-#   scripts/check.sh          # strict warnings build + ctest
-#   scripts/check.sh --asan   # additionally build & test under ASan/UBSan
+#   scripts/check.sh                     # strict warnings build + ctest
+#   scripts/check.sh --asan              # additionally build & test under ASan/UBSan
+#   scripts/check.sh --preset asan       # run exactly one preset
+#   scripts/check.sh --jobs 4            # cap build/test parallelism
+#   scripts/check.sh --labels sweep      # only ctest tests with this label
+#                                        # (tests are labelled unit|sweep)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+usage() {
+  sed -n '2,10p' "$0" | sed 's/^# \{0,1\}//'
+}
+
+die() {
+  echo "check.sh: $*" >&2
+  exit 1
+}
+
+presets=()
+jobs="$(nproc 2>/dev/null || echo 2)"
+labels=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --preset)
+      [[ $# -ge 2 ]] || die "--preset needs a name (strict|asan|default)"
+      presets+=("$2")
+      shift 2
+      ;;
+    --preset=*)
+      presets+=("${1#--preset=}")
+      shift
+      ;;
+    --jobs)
+      [[ $# -ge 2 ]] || die "--jobs needs a number"
+      jobs="$2"
+      shift 2
+      ;;
+    --jobs=*)
+      jobs="${1#--jobs=}"
+      shift
+      ;;
+    --labels)
+      [[ $# -ge 2 ]] || die "--labels needs a ctest -L regex (unit|sweep)"
+      labels="$2"
+      shift 2
+      ;;
+    --labels=*)
+      labels="${1#--labels=}"
+      shift
+      ;;
+    --asan)
+      presets+=(strict asan)
+      shift
+      ;;
+    --help | -h)
+      usage
+      exit 0
+      ;;
+    *)
+      usage >&2
+      die "unknown argument '$1'"
+      ;;
+  esac
+done
+[[ ${#presets[@]} -gt 0 ]] || presets=(strict)
+# Deduplicate, keeping first occurrences: `--preset strict --asan` must
+# not run the strict cycle twice. Empty names would silently run nothing
+# and still report green, so they are an error.
+unique=()
+for p in "${presets[@]}"; do
+  [[ -n "$p" ]] || die "--preset name must not be empty"
+  for u in "${unique[@]:-}"; do
+    [[ "$u" == "$p" ]] && continue 2
+  done
+  unique+=("$p")
+done
+presets=("${unique[@]}")
+[[ "$jobs" =~ ^[0-9]+$ && "$jobs" -ge 1 ]] || die "--jobs must be a positive integer, got '$jobs'"
+
+# Fail fast with a clear message when the toolchain is missing — a bare
+# "cmake: command not found" mid-run is a worse diagnostic.
+command -v cmake > /dev/null 2>&1 \
+  || die "cmake not found on PATH — install cmake >= 3.21 (apt-get install cmake)"
+compiler="${CXX:-}"
+if [[ -n "$compiler" ]]; then
+  command -v "$compiler" > /dev/null 2>&1 \
+    || die "CXX='$compiler' not found on PATH"
+else
+  command -v c++ > /dev/null 2>&1 || command -v g++ > /dev/null 2>&1 \
+    || command -v clang++ > /dev/null 2>&1 \
+    || die "no C++ compiler found on PATH — install g++ or clang++"
+fi
 
 run_preset() {
   local preset="$1"
   echo "== configure ($preset) =="
   cmake --preset "$preset"
   echo "== build ($preset) =="
-  cmake --build --preset "$preset" -j "$(nproc)"
-  echo "== test ($preset) =="
-  ctest --preset "$preset" -j "$(nproc)"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "== test ($preset${labels:+, labels: $labels}) =="
+  # Tests carry TIMEOUT properties and unit|sweep labels (see
+  # tests/CMakeLists.txt), so CI can shard with --labels. A label regex
+  # matching nothing must fail, not report green over zero tests.
+  ctest --preset "$preset" -j "$jobs" --no-tests=error \
+    ${labels:+-L "$labels"}
 }
 
-run_preset strict
-
-if [[ "${1:-}" == "--asan" ]]; then
-  run_preset asan
-fi
+for preset in "${presets[@]}"; do
+  run_preset "$preset"
+done
 
 echo "check.sh: all green"

@@ -1,0 +1,153 @@
+#include "explore/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "util/error.h"
+
+namespace stx::explore {
+
+std::vector<sweep_point> sweep_points(const sweep_spec& spec) {
+  auto points = expand_grid(spec.grid);
+  for (const auto& p : spec.extra_points) {
+    if (std::find(points.begin(), points.end(), p) == points.end()) {
+      points.push_back(p);
+    }
+  }
+  // An all-default grid is meaningful only when the caller asked for it
+  // via extra_points; expand_grid of an empty grid yields the single
+  // default point, which run_sweep accepts (one-point "sweep").
+  return points;
+}
+
+xbar::flow_options options_for(const sweep_spec& spec,
+                               const sweep_point& point) {
+  xbar::flow_options opts;
+  opts.horizon = spec.horizon;
+  opts.seed = spec.seed;
+  opts.transfer_overhead = spec.transfer_overhead;
+  opts.policy = point.policy;
+  opts.synth = spec.synth_base;
+  opts.synth.params.window_size = point.window_size;
+  opts.synth.params.overlap_threshold = point.overlap_threshold;
+  opts.synth.params.max_targets_per_bus = point.max_targets_per_bus;
+  opts.synth.params.burst_window = point.burst_window;
+  opts.synth.solver = point.solver;
+  opts.request_window_override = point.request_window;
+  opts.response_window_override = point.response_window;
+  return opts;
+}
+
+namespace {
+
+/// Phases 2+ for one point against the cached phase-1 state.
+sweep_result evaluate_point(const sweep_spec& spec,
+                            const workloads::app_spec& app,
+                            const sweep_point& point, trace_cache& cache) {
+  const auto opts = options_for(spec, point);
+  const auto traces = cache.traces(app, opts);
+  sweep_result result;
+  result.app_name = app.name;
+  result.point = point;
+  result.validated = spec.validate;
+  if (spec.validate) {
+    const auto full = cache.full_metrics(app, opts);
+    result.report = xbar::design_from_traces(app, *traces, opts, &*full);
+  } else {
+    result.report = xbar::design_from_traces(app, *traces, opts,
+                                             /*full=*/nullptr,
+                                             /*validate=*/false);
+  }
+  return result;
+}
+
+}  // namespace
+
+sweep_report run_sweep(const sweep_spec& spec, trace_cache& cache) {
+  STX_REQUIRE(!spec.apps.empty(), "sweep spec has no applications");
+  for (std::size_t i = 0; i < spec.apps.size(); ++i) {
+    spec.apps[i].validate();
+    for (std::size_t j = i + 1; j < spec.apps.size(); ++j) {
+      STX_REQUIRE(spec.apps[i].name != spec.apps[j].name,
+                  "duplicate app name '" + spec.apps[i].name +
+                      "' in sweep spec (names key the trace cache)");
+    }
+  }
+  const auto points = sweep_points(spec);
+  STX_REQUIRE(!points.empty(), "sweep spec expands to zero points");
+
+  // Flattened job list, app-major then grid order: results land at their
+  // job index, so the report order never depends on scheduling. Workers
+  // CLAIM jobs app-interleaved, though — app-major claiming would pile
+  // every early worker onto app 0's trace future while its one loader
+  // simulates, serialising the expensive per-app phase-1 runs.
+  struct job {
+    const workloads::app_spec* app;
+    const sweep_point* point;
+  };
+  const std::size_t num_apps = spec.apps.size();
+  const std::size_t num_points = points.size();
+  std::vector<job> jobs;
+  jobs.reserve(num_apps * num_points);
+  for (const auto& app : spec.apps) {
+    for (const auto& point : points) {
+      jobs.push_back({&app, &point});
+    }
+  }
+
+  const auto stats_before = cache.stats();
+  std::vector<sweep_result> results(jobs.size());
+  std::vector<std::exception_ptr> errors(jobs.size());
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (std::size_t k = next.fetch_add(1); k < jobs.size();
+         k = next.fetch_add(1)) {
+      // k-th claim -> app (k mod A), point (k div A).
+      const std::size_t i = (k % num_apps) * num_points + k / num_apps;
+      try {
+        results[i] = evaluate_point(spec, *jobs[i].app, *jobs[i].point, cache);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  const int threads = std::min<int>(std::max(spec.threads, 1),
+                                    static_cast<int>(jobs.size()));
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  // Rethrow the first failure in job order (deterministic, like the
+  // serial loop would have).
+  for (const auto& e : errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+
+  sweep_report report;
+  report.results = std::move(results);
+  report.horizon = spec.horizon;
+  report.seed = spec.seed;
+  const auto stats_after = cache.stats();
+  report.phase1_simulations =
+      stats_after.trace_misses - stats_before.trace_misses;
+  report.full_simulations =
+      stats_after.full_misses - stats_before.full_misses;
+  if (spec.validate) {
+    report.pareto = pareto_front(report.results);
+  }
+  return report;
+}
+
+sweep_report run_sweep(const sweep_spec& spec) {
+  trace_cache cache;
+  return run_sweep(spec, cache);
+}
+
+}  // namespace stx::explore

@@ -1,0 +1,71 @@
+// Parallel design-space exploration engine: evaluates a grid of
+// methodology parameter points across one or many applications on a
+// worker thread pool, sharing the phase-1 full-crossbar trace per
+// (app, settings) key through a trace_cache instead of re-simulating it
+// per point. Results are deterministic and ordered app-major /
+// grid-order regardless of the thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "explore/grid.h"
+#include "explore/report.h"
+#include "explore/trace_cache.h"
+#include "workloads/app.h"
+
+namespace stx::explore {
+
+/// What to sweep: the applications, the parameter grid (plus optional
+/// explicit points), and the shared simulation settings.
+struct sweep_spec {
+  /// Applications to explore; names must be unique (they key the trace
+  /// cache). Must not be empty.
+  std::vector<workloads::app_spec> apps;
+  /// Cross-product axes. An all-empty grid with no extra_points is an
+  /// error: a sweep must never silently run zero points.
+  sweep_grid grid;
+  /// Explicit points appended after the grid expansion (duplicates of
+  /// grid points or of each other are dropped).
+  std::vector<sweep_point> extra_points;
+
+  /// Base synthesis settings for every knob a sweep_point does not carry
+  /// (conflict pre-processing, critical-stream separation, solver
+  /// limits, binding optimisation). Each point's swept fields overwrite
+  /// the corresponding fields of this base.
+  xbar::synthesis_options synth_base;
+
+  /// Simulation settings shared by every point (phase 1 and phase 4).
+  traffic::cycle_t horizon = 120'000;
+  std::uint64_t seed = 1;
+  traffic::cycle_t transfer_overhead = 2;
+
+  /// Run the per-point phase-4 validation simulation and the per-app
+  /// full-crossbar reference. Off = synthesis-only sweeps (Figs. 5-6
+  /// only need bus counts) with zeroed latency metrics.
+  bool validate = true;
+
+  /// Worker threads; values < 1 and 1 both run inline on the caller.
+  int threads = 1;
+};
+
+/// The deduplicated evaluation points of `spec` (grid expansion followed
+/// by extra_points), in deterministic order.
+std::vector<sweep_point> sweep_points(const sweep_spec& spec);
+
+/// The flow options one point evaluates under (the trace cache keys on
+/// the non-synthesis part of this).
+xbar::flow_options options_for(const sweep_spec& spec,
+                               const sweep_point& point);
+
+/// Runs the sweep on `spec.threads` workers, sharing phase-1 work via
+/// `cache` (callers may pass a warm cache, or keep it to inspect hit
+/// statistics afterwards). Throws stx::invalid_argument_error on an
+/// empty app list, duplicate app names, or zero points. The report is
+/// bit-identical across thread counts.
+sweep_report run_sweep(const sweep_spec& spec, trace_cache& cache);
+
+/// run_sweep with a private cache.
+sweep_report run_sweep(const sweep_spec& spec);
+
+}  // namespace stx::explore

@@ -1,0 +1,68 @@
+#include "explore/trace_cache.h"
+
+namespace stx::explore {
+
+trace_cache::key_t trace_cache::make_key(const workloads::app_spec& app,
+                                         const xbar::flow_options& opts) {
+  return {app.name, opts.horizon, opts.seed, static_cast<int>(opts.policy),
+          opts.transfer_overhead};
+}
+
+template <typename T, typename Load>
+std::shared_ptr<const T> trace_cache::get(store_t<T>& store, const key_t& key,
+                                          std::int64_t& hits,
+                                          std::int64_t& misses, Load&& load) {
+  std::promise<std::shared_ptr<const T>> promise;
+  std::shared_future<std::shared_ptr<const T>> future;
+  bool loader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = store.find(key);
+    if (it != store.end()) {
+      ++hits;
+      future = it->second;
+    } else {
+      ++misses;
+      loader = true;
+      future = promise.get_future().share();
+      store.emplace(key, future);
+    }
+  }
+  if (loader) {
+    // Simulate outside the lock so other keys proceed concurrently; same-
+    // key requesters block on the future until the value lands.
+    try {
+      promise.set_value(std::make_shared<const T>(load()));
+    } catch (...) {
+      // Drop the entry first so the failure is not cached: current
+      // waiters get the exception, the next requester retries the load.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        store.erase(key);
+      }
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+std::shared_ptr<const xbar::collected_traces> trace_cache::traces(
+    const workloads::app_spec& app, const xbar::flow_options& opts) {
+  return get(traces_, make_key(app, opts), stats_.trace_hits,
+             stats_.trace_misses,
+             [&] { return xbar::collect_traces(app, opts); });
+}
+
+std::shared_ptr<const xbar::validation_metrics> trace_cache::full_metrics(
+    const workloads::app_spec& app, const xbar::flow_options& opts) {
+  return get(full_, make_key(app, opts), stats_.full_hits,
+             stats_.full_misses,
+             [&] { return xbar::validate_full_crossbars(app, opts); });
+}
+
+trace_cache::cache_stats trace_cache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace stx::explore

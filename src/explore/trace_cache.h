@@ -1,0 +1,72 @@
+// Thread-safe phase-1 cache: every sweep point of one application at the
+// same simulator settings consumes the identical full-crossbar trace, so
+// the expensive collection simulation (and the full-crossbar reference
+// validation) runs exactly once per key no matter how many points or
+// worker threads request it.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "xbar/flow.h"
+
+namespace stx::explore {
+
+/// Memoises xbar::collect_traces and xbar::validate_full_crossbars per
+/// (app name, horizon, seed, policy, transfer_overhead) — everything the
+/// phase-1 simulation depends on; the synthesis knobs deliberately do not
+/// enter the key. Applications are identified by name: two different
+/// specs sharing a name would alias, so sweep specs must keep app names
+/// unique.
+///
+/// Concurrency: the first requester of a key inserts a future and runs
+/// the simulation outside the lock; concurrent requesters for the same
+/// key block on that future. Both guarantee exactly-once evaluation.
+class trace_cache {
+ public:
+  struct cache_stats {
+    std::int64_t trace_hits = 0;
+    std::int64_t trace_misses = 0;  ///< phase-1 collection simulations run
+    std::int64_t full_hits = 0;
+    std::int64_t full_misses = 0;   ///< full-crossbar reference sims run
+  };
+
+  /// The phase-1 traces for (app, opts); simulated on first request.
+  std::shared_ptr<const xbar::collected_traces> traces(
+      const workloads::app_spec& app, const xbar::flow_options& opts);
+
+  /// The full-crossbar reference metrics for (app, opts); simulated on
+  /// first request.
+  std::shared_ptr<const xbar::validation_metrics> full_metrics(
+      const workloads::app_spec& app, const xbar::flow_options& opts);
+
+  cache_stats stats() const;
+
+ private:
+  using key_t = std::tuple<std::string, traffic::cycle_t, std::uint64_t,
+                           int, traffic::cycle_t>;
+
+  template <typename T>
+  using store_t = std::map<key_t, std::shared_future<std::shared_ptr<const T>>>;
+
+  static key_t make_key(const workloads::app_spec& app,
+                        const xbar::flow_options& opts);
+
+  /// Exactly-once lookup: returns the cached future's value, running
+  /// `load` (outside the lock) when this caller is the first for `key`.
+  template <typename T, typename Load>
+  std::shared_ptr<const T> get(store_t<T>& store, const key_t& key,
+                               std::int64_t& hits, std::int64_t& misses,
+                               Load&& load);
+
+  mutable std::mutex mu_;
+  store_t<xbar::collected_traces> traces_;
+  store_t<xbar::validation_metrics> full_;
+  cache_stats stats_;
+};
+
+}  // namespace stx::explore

@@ -2,8 +2,8 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace stx {
@@ -29,13 +29,30 @@ class flag_set {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Every value supplied for `name`, in command-line order — repeatable
+  /// flags like `--grid win=... --grid thr=...` collect here, while the
+  /// scalar getters above keep last-one-wins semantics.
+  std::vector<std::string> get_list(const std::string& name) const;
+
   /// Names of every flag that was supplied, sorted. Drivers use this to
   /// reject unknown flags instead of silently ignoring them.
   std::vector<std::string> names() const;
 
  private:
-  std::map<std::string, std::string> values_;
+  const std::string* find(const std::string& name) const;
+
+  /// Every occurrence in command-line order — the single source of
+  /// truth: scalar getters take the last occurrence, get_list all.
+  std::vector<std::pair<std::string, std::string>> ordered_;
   std::vector<std::string> positional_;
 };
+
+/// Prints "<prog>: unknown flag --x" to stderr for every supplied flag
+/// not in `known` and returns how many there were; drivers exit 2 (after
+/// their usage text) when the count is non-zero. Shared by xbargen,
+/// xbar-sweep and the flagged benches so the contract cannot drift.
+int report_unknown_flags(const flag_set& flags,
+                         const std::vector<std::string>& known,
+                         const std::string& prog);
 
 }  // namespace stx

@@ -1,0 +1,19 @@
+#include "util/strings.h"
+
+namespace stx {
+
+std::vector<std::string> split_list(const std::string& list, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const auto next = list.find(sep, pos);
+    const auto item = list.substr(
+        pos, next == std::string::npos ? std::string::npos : next - pos);
+    if (!item.empty()) out.push_back(item);
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return out;
+}
+
+}  // namespace stx

@@ -1,0 +1,14 @@
+// Small string helpers shared by the CLI drivers and the sweep grids.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stx {
+
+/// Splits `list` on `sep`, dropping empty items ("a,,b" -> {"a","b"},
+/// "" -> {}). The comma-list convention of every CLI flag that takes
+/// multiple values (--emit, --app, --grid axes).
+std::vector<std::string> split_list(const std::string& list, char sep = ',');
+
+}  // namespace stx

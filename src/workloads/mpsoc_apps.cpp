@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "workloads/synthetic.h"
+
 namespace stx::workloads {
 
 namespace {
@@ -250,6 +252,35 @@ app_spec make_des() {
 
 std::vector<app_spec> all_mpsoc_apps() {
   return {make_mat1(), make_mat2(), make_fft(), make_qsort(), make_des()};
+}
+
+std::optional<app_spec> make_app_by_name(const std::string& name) {
+  if (name == "mat1") return make_mat1();
+  if (name == "mat2") return make_mat2();
+  if (name == "mat2-critical") return make_mat2_critical();
+  if (name == "fft") return make_fft();
+  if (name == "qsort") return make_qsort();
+  if (name == "des") return make_des();
+  if (name == "synthetic") return make_synthetic();
+  return std::nullopt;
+}
+
+const std::vector<std::string>& app_names() {
+  static const std::vector<std::string> names = {
+      "mat1", "mat2", "mat2-critical", "fft", "qsort", "des", "synthetic"};
+  return names;
+}
+
+const std::string& app_name_list() {
+  static const std::string list = [] {
+    std::string out;
+    for (const auto& name : app_names()) {
+      if (!out.empty()) out += "|";
+      out += name;
+    }
+    return out;
+  }();
+  return list;
 }
 
 }  // namespace stx::workloads

@@ -9,6 +9,8 @@
 // streams, and the private-vs-shared traffic split.
 #pragma once
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "workloads/app.h"
@@ -50,5 +52,18 @@ std::vector<app_spec> all_mpsoc_apps();
 /// critical (real-time): exercises the criticality pre-processing of
 /// Sec. 7.3.
 app_spec make_mat2_critical();
+
+/// The CLI app inventory: resolves a name from app_names() to its
+/// builder (including the default-parameter synthetic benchmark);
+/// nullopt for unknown names. Every driver's --app flag goes through
+/// this, so the spellings cannot diverge between binaries.
+std::optional<app_spec> make_app_by_name(const std::string& name);
+
+/// Every name make_app_by_name accepts, in canonical order: the five
+/// paper apps, the critical Mat2 variant, the synthetic benchmark.
+const std::vector<std::string>& app_names();
+
+/// "mat1|mat2|mat2-critical|fft|qsort|des|synthetic" — for usage text.
+const std::string& app_name_list();
 
 }  // namespace stx::workloads

@@ -75,8 +75,22 @@ validation_metrics validate_configuration(const workloads::app_spec& app,
   return measure(system);
 }
 
-flow_report run_design_flow(const workloads::app_spec& app,
-                            const flow_options& opts) {
+validation_metrics validate_full_crossbars(const workloads::app_spec& app,
+                                           const flow_options& opts) {
+  auto full_req = sim::crossbar_config::full(app.num_targets);
+  full_req.policy = opts.policy;
+  full_req.transfer_overhead = opts.transfer_overhead;
+  auto full_resp = sim::crossbar_config::full(app.num_initiators);
+  full_resp.policy = opts.policy;
+  full_resp.transfer_overhead = opts.transfer_overhead;
+  return validate_configuration(app, full_req, full_resp, opts);
+}
+
+flow_report design_from_traces(const workloads::app_spec& app,
+                               const collected_traces& traces,
+                               const flow_options& opts,
+                               const validation_metrics* full,
+                               bool validate) {
   app.validate();
   flow_report report;
   report.app_name = app.name;
@@ -87,9 +101,6 @@ flow_report run_design_flow(const workloads::app_spec& app,
        t < app.num_targets; ++t) {
     report.target_names.push_back("tgt" + std::to_string(t));
   }
-
-  // ---- Phase 1: cycle-accurate simulation with full crossbars.
-  const auto traces = collect_traces(app, opts);
   report.request_traffic = link_totals(traces.request);
   report.response_traffic = link_totals(traces.response);
 
@@ -107,24 +118,28 @@ flow_report run_design_flow(const workloads::app_spec& app,
   report.response_design = synthesize_from_trace(traces.response, resp_opts);
 
   // ---- Phase 4: validation simulations.
-  const auto req_cfg = report.request_design.to_config(
-      opts.policy, opts.transfer_overhead);
-  const auto resp_cfg = report.response_design.to_config(
-      opts.policy, opts.transfer_overhead);
-  report.designed = validate_configuration(app, req_cfg, resp_cfg, opts);
-
-  auto full_req = sim::crossbar_config::full(app.num_targets);
-  full_req.policy = opts.policy;
-  full_req.transfer_overhead = opts.transfer_overhead;
-  auto full_resp = sim::crossbar_config::full(app.num_initiators);
-  full_resp.policy = opts.policy;
-  full_resp.transfer_overhead = opts.transfer_overhead;
-  report.full = validate_configuration(app, full_req, full_resp, opts);
+  if (validate) {
+    const auto req_cfg = report.request_design.to_config(
+        opts.policy, opts.transfer_overhead);
+    const auto resp_cfg = report.response_design.to_config(
+        opts.policy, opts.transfer_overhead);
+    report.designed = validate_configuration(app, req_cfg, resp_cfg, opts);
+    report.full =
+        full != nullptr ? *full : validate_full_crossbars(app, opts);
+  }
 
   report.full_buses = app.total_cores();
   report.designed_buses =
       report.request_design.num_buses + report.response_design.num_buses;
   return report;
+}
+
+flow_report run_design_flow(const workloads::app_spec& app,
+                            const flow_options& opts) {
+  app.validate();
+  // ---- Phase 1: cycle-accurate simulation with full crossbars.
+  const auto traces = collect_traces(app, opts);
+  return design_from_traces(app, traces, opts);
 }
 
 std::vector<gen::artifact> generate_artifacts(

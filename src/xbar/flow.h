@@ -81,6 +81,13 @@ struct flow_report {
 flow_report run_design_flow(const workloads::app_spec& app,
                             const flow_options& opts);
 
+/// Phase 4 reference point: full crossbars on both directions, measured
+/// with the same simulator settings as the designed run. Depends only on
+/// (app, horizon, seed, policy, transfer_overhead) — never on the
+/// synthesis knobs — so sweep engines compute it once per application.
+validation_metrics validate_full_crossbars(const workloads::app_spec& app,
+                                           const flow_options& opts);
+
 /// Phase 4 only: simulate `app` on explicit crossbar configs and measure.
 validation_metrics validate_configuration(const workloads::app_spec& app,
                                           const sim::crossbar_config& req,
@@ -94,6 +101,24 @@ struct collected_traces {
 };
 collected_traces collect_traces(const workloads::app_spec& app,
                                 const flow_options& opts);
+
+/// Phases 2-4 with an injected phase-1 result: synthesises both
+/// directions from `traces` (honouring the per-direction window
+/// overrides), validates the design, and assembles the report.
+/// `run_design_flow` is exactly `collect_traces` + this; design-space
+/// sweeps call it directly so one cached trace serves many parameter
+/// points. When `full` is non-null it is used as the full-crossbar
+/// reference instead of re-simulating (see validate_full_crossbars);
+/// passing the metrics of a different (app, options) pair is undefined.
+/// With `validate` false, phase 4 is skipped entirely (`full` is
+/// ignored): the report still carries the designs, endpoint names,
+/// traffic matrices and bus counts, with zeroed latency metrics —
+/// synthesis-only sweeps (Figs. 5-6 shapes) need nothing more.
+flow_report design_from_traces(const workloads::app_spec& app,
+                               const collected_traces& traces,
+                               const flow_options& opts,
+                               const validation_metrics* full = nullptr,
+                               bool validate = true);
 
 /// Phase 5, "Generation" (the step Fig. 3 feeds into): renders `report`
 /// into deployable artifacts through the gen backend registry. Backend

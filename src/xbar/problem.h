@@ -31,6 +31,14 @@ struct design_params {
   /// worst-case serialisation latency. <= 0 disables the cap.
   int max_targets_per_bus = 4;
 
+  /// Burst-adaptive variable analysis windows (the paper's Sec. 8 future
+  /// work): when > 0, the uniform window partition is replaced by
+  /// equal-work windows holding roughly `burst_window` aggregate busy
+  /// cycles each, clamped to [window_size/4, 4*window_size] — fine
+  /// resolution inside bursts, coarse in quiet phases. 0 keeps the
+  /// paper's uniform windows.
+  cycle_t burst_window = 0;
+
   /// Enables the overlap-threshold conflict pre-processing. Disabled by
   /// the average-traffic baseline ("previous approaches").
   bool use_overlap_conflicts = true;

@@ -1,7 +1,9 @@
 #include "xbar/synthesis.h"
 
+#include <algorithm>
 #include <sstream>
 
+#include "traffic/variable_windows.h"
 #include "traffic/windows.h"
 #include "util/error.h"
 #include "xbar/milp_formulation.h"
@@ -131,6 +133,15 @@ crossbar_design synthesize(const synthesis_input& input,
 
 crossbar_design synthesize_from_trace(const traffic::trace& t,
                                       const synthesis_options& opts) {
+  if (opts.params.burst_window > 0) {
+    const auto part = traffic::window_partition::burst_adaptive(
+        t, opts.params.burst_window,
+        std::max<traffic::cycle_t>(1, opts.params.window_size / 4),
+        std::max<traffic::cycle_t>(1, opts.params.window_size * 4));
+    const traffic::variable_window_analysis vwa(t, part);
+    const synthesis_input input(vwa, opts.params);
+    return synthesize(input, opts);
+  }
   const traffic::window_analysis wa(t, opts.params.window_size);
   const synthesis_input input(wa, opts.params);
   return synthesize(input, opts);

@@ -1,0 +1,84 @@
+// Pareto-front correctness on hand-built reports.
+#include <gtest/gtest.h>
+
+#include "explore/report.h"
+
+namespace stx::explore {
+namespace {
+
+sweep_result make_result(const std::string& app, int buses, double latency,
+                         cycle_t window = 400) {
+  sweep_result r;
+  r.app_name = app;
+  r.point.window_size = window;
+  r.report.app_name = app;
+  r.report.designed_buses = buses;
+  r.report.full_buses = buses * 2;
+  r.report.designed.avg_latency = latency;
+  r.report.full.avg_latency = latency / 2.0;
+  return r;
+}
+
+TEST(Pareto, PairsFrontKeepsOnlyNonDominated) {
+  // (4, 90) and (8, 40) trade off; (8, 60) and (10, 95) are dominated.
+  const std::vector<std::pair<int, double>> pts = {
+      {8, 60.0}, {4, 90.0}, {8, 40.0}, {10, 95.0}, {6, 70.0}};
+  EXPECT_EQ(pareto_front(pts), (std::vector<std::size_t>{1, 2, 4}));
+}
+
+TEST(Pareto, EqualPointsDoNotDominateEachOther) {
+  const std::vector<std::pair<int, double>> pts = {
+      {4, 50.0}, {4, 50.0}, {5, 60.0}};
+  EXPECT_EQ(pareto_front(pts), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Pareto, SinglePointIsItsOwnFront) {
+  EXPECT_EQ(pareto_front(std::vector<std::pair<int, double>>{{7, 1.0}}),
+            (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(pareto_front(std::vector<std::pair<int, double>>{}).empty());
+}
+
+TEST(Pareto, DominationNeedsOneStrictImprovement) {
+  // Same bus count, better latency dominates; same both ways does not.
+  const std::vector<std::pair<int, double>> pts = {{4, 50.0}, {4, 40.0}};
+  EXPECT_EQ(pareto_front(pts), (std::vector<std::size_t>{1}));
+}
+
+TEST(Pareto, FrontIsComputedPerApplication) {
+  // mat2's 6-bus point would dominate fft's 10-bus points if the front
+  // were global; per-app it must not.
+  const std::vector<sweep_result> results = {
+      make_result("fft", 12, 80.0, 200),   // dominated by #1
+      make_result("fft", 10, 70.0, 400),
+      make_result("mat2", 6, 30.0, 400),
+      make_result("mat2", 8, 50.0, 800),   // dominated by #2
+  };
+  EXPECT_EQ(pareto_front(results), (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(Pareto, RendersMembershipConsistently) {
+  sweep_report report;
+  report.results = {
+      make_result("mat2", 6, 30.0, 200),
+      make_result("mat2", 4, 90.0, 400),
+      make_result("mat2", 8, 60.0, 800),  // dominated by the first
+  };
+  report.pareto = pareto_front(report.results);
+  EXPECT_EQ(report.pareto, (std::vector<std::size_t>{0, 1}));
+
+  const auto csv = render_csv(report);
+  // Exactly two pareto "yes" rows in the CSV.
+  std::size_t yes = 0, pos = 0;
+  while ((pos = csv.find(",yes", pos)) != std::string::npos) {
+    ++yes;
+    pos += 4;
+  }
+  EXPECT_EQ(yes, 2u);
+
+  const auto md = render_markdown(report);
+  EXPECT_NE(md.find("Pareto front"), std::string::npos);
+  EXPECT_NE(md.find("win=200"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stx::explore

@@ -75,6 +75,20 @@ TEST(Flags, LaterValueWins) {
   EXPECT_EQ(f.get_int("x", 0), 2);
 }
 
+TEST(Flags, GetListCollectsRepeatedFlagsInOrder) {
+  const auto f = parse({"--grid", "win=200,400", "--x=1", "--grid=thr=0.1",
+                        "--grid", "maxtb=0"});
+  const auto grids = f.get_list("grid");
+  ASSERT_EQ(grids.size(), 3u);
+  EXPECT_EQ(grids[0], "win=200,400");
+  EXPECT_EQ(grids[1], "thr=0.1");
+  EXPECT_EQ(grids[2], "maxtb=0");
+  // Scalar lookups keep last-one-wins; absent flags give an empty list.
+  EXPECT_EQ(f.get_string("grid", ""), "maxtb=0");
+  EXPECT_TRUE(f.get_list("absent").empty());
+  EXPECT_EQ(f.get_list("x"), std::vector<std::string>{"1"});
+}
+
 TEST(Flags, NamesListsEverySuppliedFlagSorted) {
   const auto f = parse({"--zeta=1", "--alpha", "--mid=x", "positional"});
   const auto names = f.names();

@@ -1,0 +1,22 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace stx {
+namespace {
+
+TEST(Strings, SplitListDropsEmptyItems) {
+  EXPECT_EQ(split_list("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_list("a,,b,"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split_list(",,,"), std::vector<std::string>{});
+  EXPECT_EQ(split_list(""), std::vector<std::string>{});
+  EXPECT_EQ(split_list("solo"), std::vector<std::string>{"solo"});
+}
+
+TEST(Strings, SplitListHonoursTheSeparator) {
+  EXPECT_EQ(split_list("a;b", ';'), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split_list("a,b", ';'), std::vector<std::string>{"a,b"});
+}
+
+}  // namespace
+}  // namespace stx
