@@ -7,7 +7,7 @@
 #   scripts/check.sh --preset asan       # run exactly one preset
 #   scripts/check.sh --jobs 4            # cap build/test parallelism
 #   scripts/check.sh --labels sweep      # only ctest tests with this label
-#                                        # (tests are labelled unit|sweep)
+#                                        # (tests are labelled unit|sweep|fuzz)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,7 +44,7 @@ while [[ $# -gt 0 ]]; do
       shift
       ;;
     --labels)
-      [[ $# -ge 2 ]] || die "--labels needs a ctest -L regex (unit|sweep)"
+      [[ $# -ge 2 ]] || die "--labels needs a ctest -L regex (unit|sweep|fuzz)"
       labels="$2"
       shift 2
       ;;
@@ -102,7 +102,7 @@ run_preset() {
   echo "== build ($preset) =="
   cmake --build --preset "$preset" -j "$jobs"
   echo "== test ($preset${labels:+, labels: $labels}) =="
-  # Tests carry TIMEOUT properties and unit|sweep labels (see
+  # Tests carry TIMEOUT properties and unit|sweep|fuzz labels (see
   # tests/CMakeLists.txt), so CI can shard with --labels. A label regex
   # matching nothing must fail, not report green over zero tests.
   ctest --preset "$preset" -j "$jobs" --no-tests=error \

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Refreshes the golden flow_report snapshots under tests/golden/.
+#
+# The snapshot inputs (apps, horizon, window, seed) are pinned in
+# src/testkit/golden.cpp; this script only rebuilds and re-runs them, so
+# the committed goldens, `xbar-fuzz --regen-goldens` and the
+# testkit_golden_test can never disagree. Run it after an INTENTIONAL
+# flow-output change, eyeball `git diff tests/golden/`, and commit the
+# result together with the change that caused it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset default > /dev/null
+cmake --build --preset default -j "$(nproc 2>/dev/null || echo 2)" \
+  --target xbar_fuzz > /dev/null
+./build/examples/xbar-fuzz --regen-goldens=tests/golden
+echo "regen-goldens.sh: review 'git diff tests/golden/' before committing"

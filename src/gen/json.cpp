@@ -1,5 +1,6 @@
 #include "gen/json.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -357,5 +358,89 @@ std::string dump(const value& v) {
 }
 
 value parse(const std::string& text) { return parser(text).run(); }
+
+namespace {
+
+/// Single-line rendering for diff messages: scalars verbatim, containers
+/// summarised by shape so one mismatch line stays one line.
+std::string summarise(const value& v) {
+  if (v.is_array()) {
+    return "array[" + std::to_string(v.as_array().size()) + "]";
+  }
+  if (v.is_object()) {
+    return "object{" + std::to_string(v.as_object().size()) + " members}";
+  }
+  std::ostringstream out;
+  write_value(out, v, 0);
+  return out.str();
+}
+
+struct diff_state {
+  std::vector<std::string>& out;
+  std::size_t max_entries;
+  std::size_t overflow = 0;
+
+  void add(const std::string& path, const std::string& what) {
+    if (out.size() < max_entries) {
+      out.push_back(path + ": " + what);
+    } else {
+      ++overflow;
+    }
+  }
+};
+
+void diff_value(const value& expected, const value& actual,
+                const std::string& path, diff_state& st) {
+  if (expected == actual) return;
+  if (expected.is_object() && actual.is_object()) {
+    const auto& eo = expected.as_object();
+    for (const auto& [key, ev] : eo) {
+      if (!actual.contains(key)) {
+        st.add(path + "." + key, "missing in actual");
+        continue;
+      }
+      diff_value(ev, actual.at(key), path + "." + key, st);
+    }
+    for (const auto& [key, av] : actual.as_object()) {
+      (void)av;
+      if (!expected.contains(key)) {
+        st.add(path + "." + key, "unexpected member in actual");
+      }
+    }
+    return;
+  }
+  if (expected.is_array() && actual.is_array()) {
+    const auto& ea = expected.as_array();
+    const auto& aa = actual.as_array();
+    const std::size_t common = std::min(ea.size(), aa.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      diff_value(ea[i], aa[i], path + "[" + std::to_string(i) + "]", st);
+    }
+    for (std::size_t i = common; i < ea.size(); ++i) {
+      st.add(path + "[" + std::to_string(i) + "]", "missing in actual");
+    }
+    for (std::size_t i = common; i < aa.size(); ++i) {
+      st.add(path + "[" + std::to_string(i) + "]",
+             "unexpected element in actual");
+    }
+    return;
+  }
+  st.add(path, "expected " + summarise(expected) + ", got " +
+                   summarise(actual));
+}
+
+}  // namespace
+
+std::vector<std::string> diff(const value& expected, const value& actual,
+                              std::size_t max_entries) {
+  std::vector<std::string> out;
+  diff_state st{out, max_entries};
+  diff_value(expected, actual, "$", st);
+  if (st.overflow > 0) {
+    out.push_back("... and " + std::to_string(st.overflow) +
+                  " more differences");
+  }
+  return out;
+}
 
 }  // namespace stx::gen::json

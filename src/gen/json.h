@@ -71,4 +71,13 @@ std::string dump(const value& v);
 /// throws stx::invalid_argument_error with position information.
 value parse(const std::string& text);
 
+/// Structural comparison for regression diffs: walks `expected` and
+/// `actual` in parallel and returns one human-readable line per
+/// difference, anchored by JSON path ("$.designed.avg_latency: expected
+/// 3.25, got 4.5"; "$.failures[2]: missing in actual"). Empty when the
+/// documents are equal. At most `max_entries` lines are produced; a
+/// final "... and N more differences" line reports the overflow.
+std::vector<std::string> diff(const value& expected, const value& actual,
+                              std::size_t max_entries = 40);
+
 }  // namespace stx::gen::json

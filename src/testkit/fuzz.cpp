@@ -1,0 +1,106 @@
+#include "testkit/fuzz.h"
+
+#include <exception>
+
+#include "gen/json.h"
+
+namespace stx::testkit {
+
+std::vector<violation> run_scenario(const scenario& s,
+                                    const oracle_options& oopts,
+                                    xbar::flow_report* report_out) {
+  try {
+    const auto app = s.make_app();
+    const auto opts = s.make_flow_options();
+    const auto traces = xbar::collect_traces(app, opts);
+    const auto report = xbar::design_from_traces(app, traces, opts);
+    auto violations = check_flow_invariants(app, traces, opts, report, oopts);
+    if (violations.empty() && report_out != nullptr) *report_out = report;
+    return violations;
+  } catch (const std::exception& e) {
+    return {{"exception", e.what()}};
+  }
+}
+
+fuzz_report run_fuzz(const fuzz_options& opts, const fuzz_progress& progress) {
+  fuzz_report out;
+  out.seed = opts.seed;
+  out.runs = opts.runs;
+  const rng master(opts.seed);
+  for (int k = 0; k < opts.runs; ++k) {
+    // Each run samples from its own child stream, so run k reproduces
+    // without replaying runs 0..k-1.
+    rng r = master.split(static_cast<std::uint64_t>(k) + 1);
+    const auto s = sample_scenario(r);
+    xbar::flow_report flow;
+    auto violations = run_scenario(s, opts.oracle, &flow);
+    if (violations.empty()) {
+      out.total_packets += flow.designed.packets + flow.full.packets;
+      out.total_buses_designed += flow.designed_buses;
+      if (progress) progress(k, s, false);
+      continue;
+    }
+    fuzz_failure f;
+    f.original = s;
+    f.violations = std::move(violations);
+    f.shrunk = s;
+    f.shrunk_violations = f.violations;
+    if (opts.shrink) {
+      const auto res = shrink(
+          s,
+          [&](const scenario& c) {
+            return !run_scenario(c, opts.oracle).empty();
+          },
+          opts.shrinker);
+      f.shrunk = res.best;
+      f.shrink_attempts = res.attempts;
+      if (res.improvements > 0) {
+        f.shrunk_violations = run_scenario(res.best, opts.oracle);
+      }
+    }
+    out.failures.push_back(std::move(f));
+    if (progress) progress(k, s, true);
+  }
+  return out;
+}
+
+namespace {
+
+gen::json::array violations_json(const std::vector<violation>& vs) {
+  gen::json::array out;
+  for (const auto& v : vs) {
+    out.push_back(gen::json::object{
+        {"invariant", v.invariant},
+        {"detail", v.detail},
+    });
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_json(const fuzz_report& report) {
+  gen::json::array failures;
+  for (const auto& f : report.failures) {
+    failures.push_back(gen::json::object{
+        {"scenario", encode(f.original)},
+        {"violations", violations_json(f.violations)},
+        {"shrunk_scenario", encode(f.shrunk)},
+        {"shrunk_violations", violations_json(f.shrunk_violations)},
+        {"shrink_attempts", f.shrink_attempts},
+        {"repro",
+         "xbar-fuzz --scenario='" + encode(f.shrunk) + "'"},
+    });
+  }
+  const gen::json::value doc = gen::json::object{
+      {"schema", "stx-fuzz-report/v1"},
+      {"seed", static_cast<std::int64_t>(report.seed)},
+      {"runs", report.runs},
+      {"failures", std::move(failures)},
+      {"total_packets", report.total_packets},
+      {"total_buses_designed", report.total_buses_designed},
+  };
+  return gen::json::dump(doc);
+}
+
+}  // namespace stx::testkit

@@ -1,0 +1,68 @@
+// The fuzzing campaign driver: sample scenarios, run the full design
+// flow on each, check every oracle invariant, shrink what fails.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "testkit/oracle.h"
+#include "testkit/scenario.h"
+#include "testkit/shrink.h"
+
+namespace stx::testkit {
+
+struct fuzz_options {
+  int runs = 100;
+  std::uint64_t seed = 1;
+  bool shrink = true;
+  oracle_options oracle;
+  shrink_options shrinker;
+};
+
+/// One failing scenario, as reported: the raw sample, the minimized
+/// reproduction, and the violations each of them triggers.
+struct fuzz_failure {
+  scenario original;
+  std::vector<violation> violations;
+  scenario shrunk;  ///< == original when shrinking was off or fruitless
+  std::vector<violation> shrunk_violations;
+  int shrink_attempts = 0;
+};
+
+struct fuzz_report {
+  std::uint64_t seed = 0;
+  int runs = 0;
+  std::vector<fuzz_failure> failures;
+  /// Aggregate work done, for the campaign summary line.
+  std::int64_t total_packets = 0;
+  std::int64_t total_buses_designed = 0;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Runs one scenario end to end (trace collection, synthesis, validation,
+/// oracle). An exception anywhere in the flow is itself an oracle failure
+/// and is reported as invariant "exception". `report_out`, when non-null,
+/// receives the flow report of a successful run (untouched on failure).
+std::vector<violation> run_scenario(const scenario& s,
+                                    const oracle_options& oopts,
+                                    xbar::flow_report* report_out = nullptr);
+
+/// Progress hook: called after every run with (index, scenario, failed).
+using fuzz_progress = std::function<void(int, const scenario&, bool)>;
+
+/// The campaign: `opts.runs` scenarios from decorrelated child streams of
+/// `opts.seed` (run k is reproducible on its own), each checked against
+/// the oracle; failing scenarios are greedily shrunk when `opts.shrink`.
+/// Deterministic for fixed options.
+fuzz_report run_fuzz(const fuzz_options& opts,
+                     const fuzz_progress& progress = nullptr);
+
+/// Machine-readable campaign report (schema "stx-fuzz-report/v1"): the
+/// options, every failure with its encoded scenario strings and a ready
+/// `xbar-fuzz --scenario=...` reproduction command. Parses back with
+/// gen::json::parse.
+std::string render_json(const fuzz_report& report);
+
+}  // namespace stx::testkit

@@ -1,0 +1,82 @@
+#include "testkit/shrink.h"
+
+#include <algorithm>
+
+namespace stx::testkit {
+
+namespace {
+
+/// Re-clamps the fields whose valid range depends on the shrunk shape.
+scenario clamped(scenario s) {
+  s.hotspot_target = std::min(s.hotspot_target, s.num_targets - 1);
+  s.critical_cores = std::min(s.critical_cores, s.num_initiators);
+  return s;
+}
+
+void push_if_changed(std::vector<scenario>* out, const scenario& base,
+                     const scenario& candidate) {
+  const auto c = clamped(candidate);
+  if (!(c == base)) out->push_back(c);
+}
+
+}  // namespace
+
+std::vector<scenario> shrink_candidates(const scenario& s) {
+  std::vector<scenario> out;
+  auto with = [&](auto mutate) {
+    scenario c = s;
+    mutate(c);
+    push_if_changed(&out, s, c);
+  };
+
+  // Structural reductions first: losing half the cores shrinks every
+  // downstream artifact (trace, model, simulation) at once.
+  with([](scenario& c) { c.num_initiators = std::max(1, c.num_initiators / 2); });
+  with([](scenario& c) { c.num_targets = std::max(1, c.num_targets / 2); });
+  with([](scenario& c) { c.num_initiators = std::max(1, c.num_initiators - 1); });
+  with([](scenario& c) { c.num_targets = std::max(1, c.num_targets - 1); });
+  with([](scenario& c) { c.horizon = std::max<traffic::cycle_t>(4000, c.horizon / 2); });
+
+  // Traffic-shape reductions.
+  with([](scenario& c) {
+    c.burst_cycles = std::max<traffic::cycle_t>(c.packet_cells, c.burst_cycles / 2);
+  });
+  with([](scenario& c) { c.packet_cells = std::max(1, c.packet_cells / 2); });
+  with([](scenario& c) { c.gap_cycles /= 2; });
+
+  // Feature removals: a failure that survives without the feature is a
+  // simpler failure.
+  with([](scenario& c) { c.phase_spread = 0.0; });
+  with([](scenario& c) { c.read_fraction = 0.0; });
+  with([](scenario& c) { c.hotspot_fraction = 0.0; });
+  with([](scenario& c) { c.critical_cores = 0; });
+  with([](scenario& c) { c.max_targets_per_bus = 0; });
+  with([](scenario& c) {
+    c.window_size = std::max<traffic::cycle_t>(100, c.window_size / 2);
+  });
+  return out;
+}
+
+shrink_result shrink(const scenario& failing,
+                     const scenario_predicate& still_fails,
+                     const shrink_options& opts) {
+  shrink_result res;
+  res.best = failing;
+  bool progress = true;
+  while (progress && res.attempts < opts.max_attempts) {
+    progress = false;
+    for (const auto& candidate : shrink_candidates(res.best)) {
+      if (res.attempts >= opts.max_attempts) break;
+      ++res.attempts;
+      if (still_fails(candidate)) {
+        res.best = candidate;
+        ++res.improvements;
+        progress = true;
+        break;  // restart from the new, smaller scenario
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace stx::testkit

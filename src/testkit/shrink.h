@@ -1,0 +1,44 @@
+// Greedy scenario shrinking: minimize a failing scenario before
+// reporting it, so the reproduction the fuzzer hands back is the
+// smallest one it could find (fewer cores, shorter bursts, fewer
+// features), not the raw random sample.
+#pragma once
+
+#include <functional>
+
+#include "testkit/scenario.h"
+
+namespace stx::testkit {
+
+/// Returns true when the candidate scenario STILL exhibits the failure
+/// being minimized (typically: "the oracle still reports a violation").
+using scenario_predicate = std::function<bool(const scenario&)>;
+
+struct shrink_options {
+  /// Ceiling on predicate evaluations; each one re-runs the design flow,
+  /// so this bounds the shrink wall-clock.
+  int max_attempts = 200;
+};
+
+struct shrink_result {
+  scenario best;         ///< smallest still-failing scenario found
+  int attempts = 0;      ///< predicate evaluations spent
+  int improvements = 0;  ///< accepted shrink steps
+};
+
+/// The candidate one-step reductions of `s`, most aggressive first
+/// (halve the core counts, shorten the horizon, simplify the traffic
+/// mix). Every candidate is strictly smaller in at least one field and
+/// validates, so greedy descent over candidates terminates. Exposed for
+/// testing.
+std::vector<scenario> shrink_candidates(const scenario& s);
+
+/// Greedy descent: repeatedly applies the first candidate reduction that
+/// still fails, until no candidate fails or the attempt budget runs out.
+/// `failing` itself is assumed to fail (it is returned unchanged when no
+/// reduction reproduces the failure).
+shrink_result shrink(const scenario& failing,
+                     const scenario_predicate& still_fails,
+                     const shrink_options& opts = {});
+
+}  // namespace stx::testkit

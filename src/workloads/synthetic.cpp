@@ -12,6 +12,9 @@ app_spec make_synthetic(const synthetic_params& params) {
               "synthetic benchmark needs an even core count >= 4");
   STX_REQUIRE(params.burst_cycles > 0 && params.packet_cells > 0,
               "burst/packet sizes must be positive");
+  STX_REQUIRE(params.gap_cycles >= 0, "gap_cycles must be non-negative");
+  STX_REQUIRE(params.phase_spread >= 0.0 && params.phase_spread <= 1.0,
+              "phase_spread out of [0,1]");
   STX_REQUIRE(params.read_fraction >= 0.0 && params.read_fraction <= 1.0,
               "read_fraction out of [0,1]");
 

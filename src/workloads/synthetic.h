@@ -26,7 +26,11 @@ struct synthetic_params {
 };
 
 /// Builds the synthetic app. Deterministic; the burst phase of core i is
-/// offset by i * phase_spread * burst_cycles.
+/// offset by i * phase_spread * burst_cycles. Degenerate parameters
+/// (odd or < 4 core count, non-positive burst/packet sizes, negative
+/// gap, phase_spread or read_fraction outside [0,1]) throw
+/// stx::invalid_argument_error instead of silently producing a
+/// benchmark with a different shape than asked for.
 app_spec make_synthetic(const synthetic_params& params = {});
 
 }  // namespace stx::workloads

@@ -16,8 +16,10 @@
 
 namespace stx::xbar {
 
-/// Search limits. The defaults are far above what the paper-scale
-/// instances (|T| <= 32) need.
+/// Search limits, honoured by BOTH engines: the specialised branch &
+/// bound directly, and the generic MILP path via milp::bb_options. The
+/// defaults are far above what the paper-scale instances (|T| <= 32)
+/// need; verification harnesses shrink them to bound a cross-check.
 struct solver_options {
   std::int64_t max_nodes = 20'000'000;
   double time_limit_sec = 60.0;

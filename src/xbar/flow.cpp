@@ -57,6 +57,15 @@ sim::system_config base_system_config(const flow_options& opts,
 
 }  // namespace
 
+design_params effective_synthesis_params(const flow_options& opts,
+                                         bool request_direction) {
+  auto params = opts.synth.params;
+  const auto override_win = request_direction ? opts.request_window_override
+                                              : opts.response_window_override;
+  if (override_win > 0) params.window_size = override_win;
+  return params;
+}
+
 collected_traces collect_traces(const workloads::app_spec& app,
                                 const flow_options& opts) {
   auto base = base_system_config(opts, /*record_traces=*/true);
@@ -107,13 +116,9 @@ flow_report design_from_traces(const workloads::app_spec& app,
   // ---- Phases 2+3: window analysis, pre-processing, synthesis — run
   // independently per direction, as the paper does.
   synthesis_options req_opts = opts.synth;
-  if (opts.request_window_override > 0) {
-    req_opts.params.window_size = opts.request_window_override;
-  }
+  req_opts.params = effective_synthesis_params(opts, /*request=*/true);
   synthesis_options resp_opts = opts.synth;
-  if (opts.response_window_override > 0) {
-    resp_opts.params.window_size = opts.response_window_override;
-  }
+  resp_opts.params = effective_synthesis_params(opts, /*request=*/false);
   report.request_design = synthesize_from_trace(traces.request, req_opts);
   report.response_design = synthesize_from_trace(traces.response, resp_opts);
 

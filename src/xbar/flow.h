@@ -94,6 +94,14 @@ validation_metrics validate_configuration(const workloads::app_spec& app,
                                           const sim::crossbar_config& resp,
                                           const flow_options& opts);
 
+/// The synthesis parameters design_from_traces actually uses for one
+/// direction: opts.synth.params with the per-direction window override
+/// applied. The single source of the override rule — verification
+/// harnesses (src/testkit) rebuild a direction's model through this, so
+/// they can never diverge from what the flow solved.
+design_params effective_synthesis_params(const flow_options& opts,
+                                         bool request_direction);
+
 /// Collects the functional traffic traces of phase 1 (full crossbars).
 struct collected_traces {
   traffic::trace request;   ///< events keyed by target id

@@ -46,6 +46,7 @@ bool probe_feasible(const synthesis_input& input, int num_buses,
     return res.has_value();
   }
   milp::bb_options mo;
+  mo.max_nodes = opts.limits.max_nodes;
   mo.time_limit_sec = opts.limits.time_limit_sec;
   return solve_feasibility_milp(input, num_buses, mo).has_value();
 }
@@ -108,6 +109,7 @@ crossbar_design synthesize(const synthesis_input& input,
     }
   } else {
     milp::bb_options mo;
+    mo.max_nodes = opts.limits.max_nodes;
     mo.time_limit_sec = opts.limits.time_limit_sec;
     if (opts.optimize_binding) {
       const auto sol = solve_binding_milp(input, out.num_buses, mo);
@@ -131,20 +133,23 @@ crossbar_design synthesize(const synthesis_input& input,
   return out;
 }
 
+synthesis_input input_from_trace(const traffic::trace& t,
+                                 const design_params& params) {
+  if (params.burst_window > 0) {
+    const auto part = traffic::window_partition::burst_adaptive(
+        t, params.burst_window,
+        std::max<traffic::cycle_t>(1, params.window_size / 4),
+        std::max<traffic::cycle_t>(1, params.window_size * 4));
+    const traffic::variable_window_analysis vwa(t, part);
+    return synthesis_input(vwa, params);
+  }
+  const traffic::window_analysis wa(t, params.window_size);
+  return synthesis_input(wa, params);
+}
+
 crossbar_design synthesize_from_trace(const traffic::trace& t,
                                       const synthesis_options& opts) {
-  if (opts.params.burst_window > 0) {
-    const auto part = traffic::window_partition::burst_adaptive(
-        t, opts.params.burst_window,
-        std::max<traffic::cycle_t>(1, opts.params.window_size / 4),
-        std::max<traffic::cycle_t>(1, opts.params.window_size * 4));
-    const traffic::variable_window_analysis vwa(t, part);
-    const synthesis_input input(vwa, opts.params);
-    return synthesize(input, opts);
-  }
-  const traffic::window_analysis wa(t, opts.params.window_size);
-  const synthesis_input input(wa, opts.params);
-  return synthesize(input, opts);
+  return synthesize(input_from_trace(t, opts.params), opts);
 }
 
 }  // namespace stx::xbar

@@ -84,4 +84,13 @@ crossbar_design synthesize(const synthesis_input& input,
 crossbar_design synthesize_from_trace(const traffic::trace& t,
                                       const synthesis_options& opts);
 
+/// Phases 2-3 model construction without the solve: window analysis
+/// (uniform, or burst-adaptive when params.burst_window > 0) followed by
+/// pre-processing, exactly as synthesize_from_trace performs it. Exposed
+/// so verification harnesses (src/testkit) can rebuild the model a design
+/// was solved against and re-check feasibility and the Eq. 11 objective
+/// independently of the solver that produced the design.
+synthesis_input input_from_trace(const traffic::trace& t,
+                                 const design_params& params);
+
 }  // namespace stx::xbar

@@ -87,5 +87,58 @@ TEST(Json, WhitespaceTolerated) {
   EXPECT_EQ(v.at("a").as_array().size(), 2u);
 }
 
+TEST(JsonDiff, EqualDocumentsProduceNoLines) {
+  const auto v = parse(R"({"a": [1, 2], "b": {"c": 3.5}})");
+  EXPECT_TRUE(diff(v, v).empty());
+}
+
+TEST(JsonDiff, ScalarMismatchIsPathAnchored) {
+  const auto a = parse(R"({"a": {"b": [1, 2, 3]}})");
+  const auto b = parse(R"({"a": {"b": [1, 9, 3]}})");
+  const auto d = diff(a, b);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], "$.a.b[1]: expected 2, got 9");
+}
+
+TEST(JsonDiff, ReportsMissingAndUnexpectedMembers) {
+  const auto a = parse(R"({"keep": 1, "gone": 2})");
+  const auto b = parse(R"({"keep": 1, "new": 3})");
+  const auto d = diff(a, b);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0], "$.gone: missing in actual");
+  EXPECT_EQ(d[1], "$.new: unexpected member in actual");
+}
+
+TEST(JsonDiff, ReportsArrayLengthDrift) {
+  const auto a = parse("[1, 2, 3]");
+  const auto b = parse("[1, 2]");
+  const auto d = diff(a, b);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], "$[2]: missing in actual");
+}
+
+TEST(JsonDiff, TypeMismatchSummarisesContainers) {
+  const auto a = parse(R"({"x": [1, 2]})");
+  const auto b = parse(R"({"x": {"y": 1}})");
+  const auto d = diff(a, b);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], "$.x: expected array[2], got object{1 members}");
+}
+
+TEST(JsonDiff, CapsTheNumberOfLines) {
+  std::string sa = "[", sb = "[";
+  for (int i = 0; i < 50; ++i) {
+    if (i > 0) {
+      sa += ",";
+      sb += ",";
+    }
+    sa += std::to_string(i);
+    sb += std::to_string(i + 1000);
+  }
+  const auto d = diff(parse(sa + "]"), parse(sb + "]"), 10);
+  ASSERT_EQ(d.size(), 11u);
+  EXPECT_EQ(d.back(), "... and 40 more differences");
+}
+
 }  // namespace
 }  // namespace stx::gen::json

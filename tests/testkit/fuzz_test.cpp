@@ -1,0 +1,98 @@
+// Campaign driver tests: determinism, failure reporting, JSON rendering.
+#include "testkit/fuzz.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/json.h"
+
+namespace stx::testkit {
+namespace {
+
+fuzz_options small_campaign() {
+  fuzz_options opts;
+  opts.runs = 4;
+  opts.seed = 11;
+  // Keep the unit test quick; the solver cross-check has its own tests
+  // and runs in the CI smoke campaign.
+  opts.oracle.solver_agreement = false;
+  return opts;
+}
+
+TEST(Fuzz, CampaignIsDeterministic) {
+  const auto a = run_fuzz(small_campaign());
+  const auto b = run_fuzz(small_campaign());
+  EXPECT_EQ(a.failures.size(), b.failures.size());
+  EXPECT_EQ(a.total_packets, b.total_packets);
+  EXPECT_EQ(render_json(a), render_json(b));
+}
+
+TEST(Fuzz, CleanCampaignReportsWork) {
+  const auto r = run_fuzz(small_campaign());
+  EXPECT_TRUE(r.ok()) << render_json(r);
+  EXPECT_EQ(r.runs, 4);
+  EXPECT_GT(r.total_packets, 0);
+  EXPECT_GT(r.total_buses_designed, 0);
+}
+
+TEST(Fuzz, ProgressHookSeesEveryRun) {
+  int calls = 0;
+  run_fuzz(small_campaign(),
+           [&](int, const scenario&, bool) { ++calls; });
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(Fuzz, RunScenarioReportsExceptionsAsViolations) {
+  scenario s;
+  s.num_initiators = 0;  // make_app will throw on validate
+  const auto vs = run_scenario(s, oracle_options{});
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].invariant, "exception");
+}
+
+TEST(Fuzz, BrutalOracleProducesShrunkFailures) {
+  // An impossible latency bound makes every scenario "fail", exercising
+  // the full failure path (shrink + re-check) without a real bug.
+  fuzz_options opts;
+  opts.runs = 1;
+  opts.seed = 3;
+  opts.oracle.solver_agreement = false;
+  opts.oracle.latency_factor = 0.0;
+  opts.oracle.latency_slack_cycles = -1.0;  // avg > -1 always
+  opts.shrinker.max_attempts = 40;
+  const auto r = run_fuzz(opts);
+  ASSERT_EQ(r.failures.size(), 1u);
+  const auto& f = r.failures[0];
+  EXPECT_FALSE(f.violations.empty());
+  EXPECT_FALSE(f.shrunk_violations.empty());
+  // The shrunk scenario is no larger and still reproduces standalone.
+  EXPECT_LE(f.shrunk.num_initiators, f.original.num_initiators);
+  EXPECT_LE(f.shrunk.horizon, f.original.horizon);
+  EXPECT_FALSE(run_scenario(f.shrunk, opts.oracle).empty());
+  // And its seed string round-trips, as the repro command requires.
+  EXPECT_EQ(decode(encode(f.shrunk)), f.shrunk);
+}
+
+TEST(Fuzz, RenderJsonParsesBackWithFailures) {
+  fuzz_options opts;
+  opts.runs = 1;
+  opts.seed = 3;
+  opts.shrink = false;
+  opts.oracle.solver_agreement = false;
+  opts.oracle.latency_factor = 0.0;
+  opts.oracle.latency_slack_cycles = -1.0;
+  const auto r = run_fuzz(opts);
+  ASSERT_FALSE(r.ok());
+  const auto doc = gen::json::parse(render_json(r));
+  EXPECT_EQ(doc.at("schema").as_string(), "stx-fuzz-report/v1");
+  EXPECT_EQ(doc.at("runs").as_int(), 1);
+  const auto& failures = doc.at("failures").as_array();
+  ASSERT_EQ(failures.size(), 1u);
+  const auto& f = failures[0];
+  // The embedded scenario string decodes back to the sampled scenario.
+  EXPECT_EQ(decode(f.at("scenario").as_string()), r.failures[0].original);
+  EXPECT_NE(f.at("repro").as_string().find("--scenario="),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace stx::testkit

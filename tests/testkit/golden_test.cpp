@@ -1,0 +1,71 @@
+// Golden regression: the flow's JSON output for the paper apps must
+// match the snapshots committed under tests/golden/ exactly. On drift,
+// the failure message is a JSON-path diff plus the regeneration command.
+//
+// STX_GOLDEN_DIR is injected by tests/testkit/CMakeLists.txt and points
+// at the source tree's tests/golden directory.
+#include "testkit/golden.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "gen/json_backend.h"
+
+namespace stx::testkit {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string join(const std::vector<std::string>& lines) {
+  std::ostringstream out;
+  for (const auto& l : lines) out << "  " << l << "\n";
+  return out.str();
+}
+
+TEST(Golden, PaperAppSnapshotsMatch) {
+  for (const auto& name : golden_apps()) {
+    SCOPED_TRACE(name);
+    const auto path =
+        std::string(STX_GOLDEN_DIR) + "/" + golden_filename(name);
+    const auto expected = read_file(path);
+    ASSERT_FALSE(expected.empty())
+        << "missing golden snapshot " << path
+        << " — run scripts/regen-goldens.sh";
+    const auto actual = golden_json(golden_report(name));
+    const auto d = golden_diff(expected, actual);
+    EXPECT_TRUE(d.empty())
+        << "flow output drifted from " << path << ":\n" << join(d)
+        << "if the change is intentional, refresh with "
+           "scripts/regen-goldens.sh";
+  }
+}
+
+TEST(Golden, SnapshotsRoundTripThroughTheJsonBackend) {
+  // Guards the regeneration path itself: a snapshot is the canonical
+  // json-backend emission, so parse_design must reconstruct the report.
+  const auto report = golden_report("qsort");
+  const auto parsed = gen::parse_design(golden_json(report));
+  EXPECT_EQ(parsed, report);
+}
+
+TEST(Golden, DiffIsReadableAndAnchored) {
+  const auto a = R"({"x": 1, "y": {"z": 2.5}})";
+  const auto b = R"({"x": 1, "y": {"z": 3.5}})";
+  const auto d = golden_diff(a, b);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], "$.y.z: expected 2.5, got 3.5");
+  EXPECT_TRUE(golden_diff(a, a).empty());
+  // Malformed input degrades to a message, not a throw.
+  EXPECT_FALSE(golden_diff("{", b).empty());
+}
+
+}  // namespace
+}  // namespace stx::testkit

@@ -1,0 +1,88 @@
+// Shrinker tests: pure predicates (no simulation) so they pin down the
+// greedy descent behaviour exactly.
+#include "testkit/shrink.h"
+
+#include <gtest/gtest.h>
+
+namespace stx::testkit {
+namespace {
+
+scenario big_scenario() {
+  scenario s;
+  s.seed = 3;
+  s.num_initiators = 8;
+  s.num_targets = 8;
+  s.burst_cycles = 1600;
+  s.packet_cells = 16;
+  s.gap_cycles = 4000;
+  s.phase_spread = 0.8;
+  s.read_fraction = 0.4;
+  s.hotspot_fraction = 0.2;
+  s.hotspot_target = 7;
+  s.critical_cores = 2;
+  s.horizon = 40'000;
+  return s;
+}
+
+TEST(Shrink, CandidatesAreValidAndStrictlySmaller) {
+  const auto s = big_scenario();
+  const auto candidates = shrink_candidates(s);
+  EXPECT_FALSE(candidates.empty());
+  for (const auto& c : candidates) {
+    EXPECT_NO_THROW(c.validate());
+    EXPECT_FALSE(c == s);
+    // Round-trippable: the shrunk repro string must stay usable.
+    EXPECT_EQ(decode(encode(c)), c);
+  }
+}
+
+TEST(Shrink, ReachesThePredicateBoundary) {
+  // Fails whenever the scenario still has >= 3 initiators and a burst of
+  // >= 100 cycles; the minimum still-failing scenario has exactly those.
+  const auto pred = [](const scenario& c) {
+    return c.num_initiators >= 3 && c.burst_cycles >= 100;
+  };
+  const auto res = shrink(big_scenario(), pred);
+  EXPECT_TRUE(pred(res.best));
+  EXPECT_LE(res.best.num_initiators, 3);
+  EXPECT_LT(res.best.burst_cycles, 200);
+  // Unrelated features were stripped along the way.
+  EXPECT_EQ(res.best.hotspot_fraction, 0.0);
+  EXPECT_EQ(res.best.critical_cores, 0);
+  EXPECT_GT(res.improvements, 0);
+}
+
+TEST(Shrink, ReturnsTheOriginalWhenNothingSmallerFails) {
+  const auto s = big_scenario();
+  int calls = 0;
+  const auto res = shrink(s, [&](const scenario&) {
+    ++calls;
+    return false;
+  });
+  EXPECT_EQ(res.best, s);
+  EXPECT_EQ(res.improvements, 0);
+  EXPECT_EQ(res.attempts, calls);
+}
+
+TEST(Shrink, HonoursTheAttemptBudget) {
+  shrink_options opts;
+  opts.max_attempts = 5;
+  const auto res = shrink(
+      big_scenario(), [](const scenario&) { return true; }, opts);
+  EXPECT_LE(res.attempts, 5);
+}
+
+TEST(Shrink, TerminatesOnAlwaysFailingPredicate) {
+  // Every candidate "fails", so descent only stops when no candidate
+  // changes the scenario any further — well before the default budget.
+  const auto res =
+      shrink(big_scenario(), [](const scenario&) { return true; });
+  EXPECT_LT(res.attempts, shrink_options{}.max_attempts);
+  // Fully reduced: the structural fields sit at their floors.
+  EXPECT_EQ(res.best.num_initiators, 1);
+  EXPECT_EQ(res.best.num_targets, 1);
+  EXPECT_EQ(res.best.hotspot_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace stx::testkit

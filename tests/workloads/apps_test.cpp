@@ -161,6 +161,32 @@ TEST(Synthetic, RejectsBadParameters) {
   synthetic_params bad_read;
   bad_read.read_fraction = 1.5;
   EXPECT_THROW(make_synthetic(bad_read), invalid_argument_error);
+  synthetic_params neg_read;
+  neg_read.read_fraction = -0.1;
+  EXPECT_THROW(make_synthetic(neg_read), invalid_argument_error);
+  synthetic_params bad_spread;
+  bad_spread.phase_spread = 1.25;
+  EXPECT_THROW(make_synthetic(bad_spread), invalid_argument_error);
+  synthetic_params neg_spread;
+  neg_spread.phase_spread = -0.5;
+  EXPECT_THROW(make_synthetic(neg_spread), invalid_argument_error);
+  synthetic_params neg_gap;
+  neg_gap.gap_cycles = -1;
+  EXPECT_THROW(make_synthetic(neg_gap), invalid_argument_error);
+  synthetic_params no_burst;
+  no_burst.burst_cycles = 0;
+  EXPECT_THROW(make_synthetic(no_burst), invalid_argument_error);
+}
+
+TEST(Synthetic, BoundaryParametersAreAccepted) {
+  synthetic_params p;
+  p.phase_spread = 1.0;
+  p.read_fraction = 1.0;
+  p.gap_cycles = 0;
+  p.num_cores = 4;
+  const auto app = make_synthetic(p);
+  app.validate();
+  EXPECT_EQ(app.total_cores(), 4);
 }
 
 TEST(AppSpec, ValidateCatchesBrokenSpecs) {
