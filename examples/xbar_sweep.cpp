@@ -42,6 +42,7 @@ void print_usage(std::FILE* to) {
       "concurrency)\n"
       "  --horizon=N         simulation cycles (120000)\n"
       "  --seed=N            simulator seed (1)\n"
+      "  --kernel=KIND       simulation kernel, event|polling (event)\n"
       "  --validate=BOOL     per-point validation simulation (true)\n"
       "  --out-dir=DIR       write <basename>.json/.csv/.md artifacts\n"
       "  --basename=NAME     artifact filename stem (sweep)\n"
@@ -51,7 +52,8 @@ void print_usage(std::FILE* to) {
 
 const std::vector<std::string> kKnownFlags = {
     "app",      "grid",     "threads",  "horizon",        "seed",
-    "validate", "out-dir",  "basename", "compare-serial", "help",
+    "kernel",   "validate", "out-dir",  "basename",       "compare-serial",
+    "help",
 };
 
 int reject_unknown_flags(const flag_set& flags) {
@@ -135,6 +137,13 @@ int main(int argc, char** argv) {
     spec.apps = pick_apps(flags.get_string("app", "mat2"));
     spec.horizon = flags.get_int("horizon", 120'000);
     spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    try {
+      spec.kernel =
+          sim::parse_kernel_kind(flags.get_string("kernel", "event"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "xbar-sweep: %s\n", e.what());
+      return 2;
+    }
     spec.validate = flags.get_bool("validate", true);
     const int hw =
         std::max(1u, std::thread::hardware_concurrency());

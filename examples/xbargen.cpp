@@ -51,6 +51,9 @@ void print_usage(std::FILE* to) {
       "  --critical=BOOL     separate critical streams (true)\n"
       "  --solver=KIND       specialized|milp (specialized)\n"
       "  --horizon=N         simulation cycles (120000)\n"
+      "  --kernel=KIND       simulation kernel, event|polling (event);\n"
+      "                      bit-identical results, polling is the legacy "
+      "reference\n"
       "  --grid KEY=V1,...   sweep an axis instead of one design point "
       "(repeatable;\n"
       "                      keys: win thr maxtb burstwin policy solver "
@@ -66,8 +69,21 @@ void print_usage(std::FILE* to) {
 const std::vector<std::string> kKnownFlags = {
     "app",      "trace",    "save-traces", "emit",     "out-dir",
     "window",   "threshold", "maxtb",      "conflicts", "critical",
-    "solver",   "horizon",  "grid",        "threads",  "help",
+    "solver",   "horizon",  "kernel",      "grid",     "threads",
+    "help",
 };
+
+/// Parses --kernel; unknown spellings exit 2 with usage, like any other
+/// malformed flag.
+sim::kernel_kind pick_kernel(const flag_set& flags) {
+  try {
+    return sim::parse_kernel_kind(flags.get_string("kernel", "event"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "xbargen: %s\n", e.what());
+    print_usage(stderr);
+    std::exit(2);
+  }
+}
 
 int reject_unknown_flags(const flag_set& flags) {
   const int bad = report_unknown_flags(flags, kKnownFlags, "xbargen");
@@ -167,6 +183,7 @@ int run_grid_sweep(const flag_set& flags) {
 
   spec.apps = {pick_app(flags.get_string("app", "mat2"))};
   spec.horizon = flags.get_int("horizon", 120'000);
+  spec.kernel = pick_kernel(flags);
   const unsigned hw = std::thread::hardware_concurrency();
   spec.threads = static_cast<int>(
       flags.get_int("threads", hw == 0 ? 1 : hw));
@@ -214,6 +231,7 @@ int design_from_app(const flag_set& flags) {
   }
   xbar::flow_options opts;
   opts.horizon = flags.get_int("horizon", 120'000);
+  opts.kernel = pick_kernel(flags);
   opts.synth = synth_options(flags);
 
   const auto save = flags.get_string("save-traces", "");

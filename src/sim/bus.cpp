@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/event_queue.h"
 #include "util/error.h"
 
 namespace stx::sim {
@@ -31,6 +32,36 @@ bool bus::has_backlog() const {
   return false;
 }
 
+bool bus::start_transfer(cycle_t now) {
+  bool any = false;
+  for (int p = 0; p < num_ports_; ++p) {
+    const bool req = !queues_[static_cast<std::size_t>(p)].empty();
+    requesting_[static_cast<std::size_t>(p)] = req;
+    any = any || req;
+  }
+  if (!any) return false;
+  const int granted = arbiter_->pick(requesting_, now);
+  STX_ENSURE(granted >= 0, "arbiter returned no grant despite requests");
+  auto& q = queues_[static_cast<std::size_t>(granted)];
+  current_ = q.front();
+  q.pop_front();
+  transferring_ = true;
+  // The grant cycle itself is the first overhead cycle. The recorded
+  // receive interval spans the packet's whole bus occupancy (overhead +
+  // cells): the window bandwidth constraint (Eq. 4) budgets bus capacity,
+  // and the adapter/arbitration cycles consume capacity just like cells.
+  recv_begin_ = now;
+  transfer_end_ = now + overhead_ + current_.cells;
+  return true;
+}
+
+void bus::complete(const deliver_fn& deliver) {
+  busy_cycles_ += transfer_end_ - busy_from_;
+  transferring_ = false;
+  ++delivered_;
+  deliver(current_, recv_begin_, transfer_end_);
+}
+
 void bus::step(cycle_t now, const deliver_fn& deliver) {
   if (transferring_) {
     ++busy_cycles_;
@@ -44,31 +75,40 @@ void bus::step(cycle_t now, const deliver_fn& deliver) {
   }
 
   // Idle: arbitrate among ports with a pending packet.
-  bool any = false;
-  for (int p = 0; p < num_ports_; ++p) {
-    const bool req = !queues_[static_cast<std::size_t>(p)].empty();
-    requesting_[static_cast<std::size_t>(p)] = req;
-    any = any || req;
-  }
-  if (!any) return;
-  const int granted = arbiter_->pick(requesting_, now);
-  STX_ENSURE(granted >= 0, "arbiter returned no grant despite requests");
-  auto& q = queues_[static_cast<std::size_t>(granted)];
-  current_ = q.front();
-  q.pop_front();
-  transferring_ = true;
-  // The grant cycle itself is the first overhead cycle. The recorded
-  // receive interval spans the packet's whole bus occupancy (overhead +
-  // cells): the window bandwidth constraint (Eq. 4) budgets bus capacity,
-  // and the adapter/arbitration cycles consume capacity just like cells.
-  recv_begin_ = now;
-  transfer_end_ = now + overhead_ + current_.cells;
+  if (!start_transfer(now)) return;
   ++busy_cycles_;
   if (now + 1 >= transfer_end_) {
     // Single-cell packet with zero overhead completes immediately.
     transferring_ = false;
     ++delivered_;
     deliver(current_, recv_begin_, transfer_end_);
+  }
+}
+
+void bus::wake(cycle_t now, const deliver_fn& deliver) {
+  if (transferring_) {
+    // Completion wake — or a spurious one (backlog wake while busy),
+    // which must change nothing. The polling loop only arbitrates the
+    // cycle AFTER a completion, so no new transfer starts here; the
+    // engine re-arms us for the next cycle.
+    if (now + 1 >= transfer_end_) complete(deliver);
+    return;
+  }
+  if (!start_transfer(now)) return;
+  busy_from_ = now;
+  if (now + 1 >= transfer_end_) complete(deliver);
+}
+
+cycle_t bus::next_wake(cycle_t earliest) const {
+  if (transferring_) return std::max(transfer_end_ - 1, earliest);
+  if (has_backlog()) return earliest;
+  return no_wake;
+}
+
+void bus::sync_busy(cycle_t now) {
+  if (transferring_ && now > busy_from_) {
+    busy_cycles_ += now - busy_from_;
+    busy_from_ = now;
   }
 }
 

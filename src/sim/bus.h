@@ -34,8 +34,27 @@ class bus {
 
   /// Advances one cycle. Completes an in-flight transfer whose last cell
   /// lands this cycle (invoking `deliver`), then, if idle, arbitrates and
-  /// starts the next transfer.
+  /// starts the next transfer. Polling-kernel entry point: the caller
+  /// must invoke it every cycle (busy cycles are counted eagerly).
   void step(cycle_t now, const deliver_fn& deliver);
+
+  /// Event-kernel entry point: same decision procedure as step(), but
+  /// safe to call only at the cycles next_wake() names (plus any spurious
+  /// wake, which is a no-op). Busy cycles are accounted lazily — span-at-
+  /// completion rather than one per call — so skipped cycles still count;
+  /// sync_busy() settles the in-flight span at a run boundary. One bus
+  /// instance must stick to one kernel (step xor wake) for its lifetime.
+  void wake(cycle_t now, const deliver_fn& deliver);
+
+  /// Earliest cycle >= `earliest` at which wake() does real work: the
+  /// in-flight transfer's completion cycle, `earliest` itself when idle
+  /// with a backlog, or no_wake when fully drained.
+  cycle_t next_wake(cycle_t earliest) const;
+
+  /// Accounts the busy span of an in-flight transfer up to `now`
+  /// (exclusive) so busy_cycles() matches the polling kernel at a run
+  /// horizon that cuts a transfer in half.
+  void sync_busy(cycle_t now);
 
   int id() const { return id_; }
   int num_ports() const { return num_ports_; }
@@ -56,10 +75,17 @@ class bus {
   std::unique_ptr<arbiter> arbiter_;
   std::vector<std::deque<packet>> queues_;
 
+  /// Arbitrates among backlogged ports and loads the winner into
+  /// current_/recv_begin_/transfer_end_; false when nothing requests.
+  bool start_transfer(cycle_t now);
+  /// Finishes the in-flight transfer: lazy busy accounting + delivery.
+  void complete(const deliver_fn& deliver);
+
   bool transferring_ = false;
   packet current_{};
   cycle_t transfer_end_ = 0;   ///< first cycle the bus is free again
   cycle_t recv_begin_ = 0;     ///< first cycle the destination receives
+  cycle_t busy_from_ = 0;      ///< start of the unaccounted busy span
 
   cycle_t busy_cycles_ = 0;
   std::int64_t delivered_ = 0;

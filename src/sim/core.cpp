@@ -1,7 +1,9 @@
 #include "sim/core.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "sim/event_queue.h"
 #include "util/error.h"
 
 namespace stx::sim {
@@ -15,6 +17,7 @@ void barrier_board::arrive(int barrier_id, std::int64_t epoch) {
   } else {
     counts_.emplace_back(key, 1);
   }
+  ++version_;
 }
 
 bool barrier_board::open(int barrier_id, std::int64_t epoch,
@@ -180,6 +183,26 @@ void core::step(cycle_t now, const send_fn& send, barrier_board& barriers) {
       return;
     }
   }
+}
+
+cycle_t core::next_wake(cycle_t earliest) const {
+  switch (state_) {
+    case state::waiting_response:
+      // Only on_response unblocks; the kernel wakes us after delivery.
+      return no_wake;
+    case state::computing:
+      return std::max(compute_done_, earliest);
+    default:
+      break;
+  }
+  // Between barrier polls with the board still closed, step() is a no-op
+  // until next_poll_ — the only ready-state span the kernel may skip.
+  // A board change before then re-wakes us through the arrival hook.
+  if (!pending_arrival_ && program_[pc_].op == core_op::kind::barrier &&
+      bphase_ == barrier_phase::poll_wait) {
+    return std::max(next_poll_, earliest);
+  }
+  return earliest;
 }
 
 void core::on_response(const packet& p, cycle_t now) {

@@ -40,9 +40,16 @@ class barrier_board {
   void arrive(int barrier_id, std::int64_t epoch);
   bool open(int barrier_id, std::int64_t epoch, int group_size) const;
 
+  /// Bumped on every arrival. The event kernel compares it around each
+  /// core step: a change means spinning cores may now see their barrier
+  /// open and must be re-woken (the polling loop gets this for free by
+  /// stepping every core every cycle).
+  std::int64_t version() const { return version_; }
+
  private:
   /// arrivals[(barrier_id << 32) | epoch] — epochs are small in practice.
   std::vector<std::pair<std::int64_t, int>> counts_;
+  std::int64_t version_ = 0;
   int find(std::int64_t key) const;
 };
 
@@ -72,6 +79,13 @@ class core {
 
   /// Response crossbar delivery for this core (matched by txn id).
   void on_response(const packet& p, cycle_t now);
+
+  /// Earliest cycle >= `earliest` at which step() could change state, or
+  /// no_wake when only an external event (a response delivery, a barrier
+  /// arrival) can unblock this core. Spinning between barrier polls the
+  /// core sleeps until next_poll_; the board opening earlier is signalled
+  /// to the event kernel via barrier_board::version().
+  cycle_t next_wake(cycle_t earliest) const;
 
   int id() const { return id_; }
   /// Completed program iterations (loop count).

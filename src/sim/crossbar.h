@@ -54,8 +54,22 @@ class crossbar {
   void enqueue(const packet& p);
 
   /// Steps every bus one cycle; `deliver` fires for each completed packet
-  /// after latency accounting.
+  /// after latency accounting. Polling-kernel entry point.
   void step(cycle_t now, const deliver_fn& deliver);
+
+  /// Event-kernel entry point: wakes one bus (same latency accounting as
+  /// step). See bus::wake for the call contract.
+  void wake_bus(int k, cycle_t now, const deliver_fn& deliver);
+
+  /// Next wake cycle of bus `k` (no_wake when drained).
+  cycle_t bus_next_wake(int k, cycle_t earliest) const;
+
+  /// The bus that receiving endpoint `dest` is bound to.
+  int bus_for(int dest) const;
+
+  /// Settles lazy busy accounting of every bus up to `now` (event kernel
+  /// run boundary).
+  void sync_busy(cycle_t now);
 
   const crossbar_config& config() const { return cfg_; }
   int num_buses() const { return static_cast<int>(buses_.size()); }

@@ -1,0 +1,72 @@
+// Calendar/priority event queue for the event-driven simulation kernel.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+#include "sim/packet.h"
+
+namespace stx::sim {
+
+/// Sentinel returned by component next_wake() queries: nothing can make
+/// this component act until an external event (a delivery, an enqueue, a
+/// barrier arrival) wakes it.
+inline constexpr cycle_t no_wake = -1;
+
+/// When a component acts within a cycle. The order replicates the legacy
+/// polling loop's per-cycle sweep (cores, request buses, targets,
+/// response buses), which is what makes the two kernels bit-identical:
+/// an event kernel that steps the same components in the same per-cycle
+/// phase order — and only ever *adds* steps that are provable no-ops —
+/// cannot diverge from the polling loop.
+enum sim_phase : int {
+  phase_core = 0,          ///< cores may issue new requests
+  phase_request_bus = 1,   ///< request crossbar moves cells to targets
+  phase_target = 2,        ///< targets emit ready replies
+  phase_response_bus = 3,  ///< response crossbar moves cells to cores
+};
+
+/// One scheduled wake: cycle-major, then polling-phase order, then
+/// component id — the stable tie-break that keeps simultaneous wakes
+/// deterministic.
+struct event_key {
+  cycle_t cycle = 0;
+  int phase = 0;
+  int component = 0;
+
+  auto operator<=>(const event_key&) const = default;
+};
+
+/// Binary min-heap of wake events, ordered by event_key. Duplicates are
+/// legal — several causes may wake the same component at the same cycle
+/// (its own re-arm plus a barrier arrival, say); the engine drops them at
+/// pop time, so pushing is always safe and never requires a lookup.
+class event_queue {
+ public:
+  void push(const event_key& k);
+  /// Smallest pending key; queue must be non-empty.
+  const event_key& top() const;
+  /// Removes and returns the smallest pending key; queue must be
+  /// non-empty.
+  event_key pop();
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  std::int64_t total_pushed() const { return pushed_; }
+
+ private:
+  std::vector<event_key> heap_;
+  std::int64_t pushed_ = 0;
+};
+
+/// Counters describing one event-driven run; exposed through
+/// mpsoc_system::event_stats() so benches and tests can see how much
+/// work the kernel actually skipped.
+struct engine_stats {
+  std::int64_t events_processed = 0;  ///< component wake handlers executed
+  std::int64_t events_skipped = 0;    ///< duplicate wakes dropped at pop
+  std::int64_t cycles_visited = 0;    ///< distinct cycles with any event
+};
+
+}  // namespace stx::sim

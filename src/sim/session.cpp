@@ -1,0 +1,41 @@
+#include "sim/session.h"
+
+namespace stx::sim {
+
+session::session(std::vector<std::vector<core_op>> programs, int num_targets,
+                 const system_config& cfg,
+                 std::vector<std::size_t> loop_starts)
+    : system_(std::move(programs), num_targets, cfg, std::move(loop_starts)) {}
+
+void session::run(cycle_t horizon) {
+  system_.run(horizon);
+  cached_.reset();
+}
+
+const run_metrics& session::metrics() const {
+  if (!cached_) cached_ = harvest_metrics(system_);
+  return *cached_;
+}
+
+run_metrics harvest_metrics(const mpsoc_system& system) {
+  run_metrics out;
+  const auto lat = system.packet_latency();
+  if (lat.count() > 0) {
+    out.avg_latency = lat.mean();
+    out.max_latency = lat.max();
+    out.p99_latency = lat.keeps_samples() ? lat.percentile(0.99) : lat.max();
+  }
+  const auto crit = system.critical_packet_latency();
+  if (crit.count() > 0) {
+    out.avg_critical = crit.mean();
+    out.max_critical = crit.max();
+  }
+  out.packets = lat.count();
+  out.transactions = system.total_transactions();
+  out.iterations = system.total_iterations();
+  out.total_buses = system.request_crossbar().num_buses() +
+                    system.response_crossbar().num_buses();
+  return out;
+}
+
+}  // namespace stx::sim

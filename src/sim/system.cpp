@@ -1,8 +1,24 @@
 #include "sim/system.h"
 
+#include "sim/engine.h"
 #include "util/error.h"
 
 namespace stx::sim {
+
+const char* to_string(kernel_kind k) {
+  switch (k) {
+    case kernel_kind::polling: return "polling";
+    case kernel_kind::event: return "event";
+  }
+  return "?";
+}
+
+kernel_kind parse_kernel_kind(const std::string& name) {
+  if (name == "polling") return kernel_kind::polling;
+  if (name == "event") return kernel_kind::event;
+  throw invalid_argument_error("unknown simulation kernel '" + name +
+                               "' (polling|event)");
+}
 
 mpsoc_system::mpsoc_system(std::vector<std::vector<core_op>> programs,
                            int num_targets, const system_config& cfg,
@@ -43,7 +59,25 @@ mpsoc_system::mpsoc_system(std::vector<std::vector<core_op>> programs,
 
 void mpsoc_system::run(cycle_t horizon) {
   STX_REQUIRE(horizon >= now_, "cannot run backwards");
+  if (cfg_.kernel == kernel_kind::event) {
+    run_event(horizon);
+  } else {
+    run_polling(horizon);
+  }
+  request_trace_.extend_horizon(now_);
+  response_trace_.extend_horizon(now_);
+}
 
+void mpsoc_system::run_event(cycle_t horizon) {
+  engine e(*this);
+  e.run(horizon);
+  now_ = horizon;
+  event_stats_.events_processed += e.stats().events_processed;
+  event_stats_.events_skipped += e.stats().events_skipped;
+  event_stats_.cycles_visited += e.stats().cycles_visited;
+}
+
+void mpsoc_system::run_polling(cycle_t horizon) {
   const send_fn send_request = [&](const packet& p) {
     request_xbar_.enqueue(p);
   };
@@ -82,9 +116,6 @@ void mpsoc_system::run(cycle_t horizon) {
       cores_[static_cast<std::size_t>(p.dest)].on_response(p, re);
     });
   }
-
-  request_trace_.extend_horizon(now_);
-  response_trace_.extend_horizon(now_);
 }
 
 const core& mpsoc_system::core_at(int i) const {

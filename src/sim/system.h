@@ -6,11 +6,29 @@
 
 #include "sim/core.h"
 #include "sim/crossbar.h"
+#include "sim/event_queue.h"
 #include "sim/target.h"
 #include "traffic/trace.h"
 #include "util/stats.h"
 
 namespace stx::sim {
+
+/// Which simulation kernel drives the components.
+///
+///   * event:   calendar-queue kernel (sim::engine) — components register
+///              next-wake times and idle spans are skipped in O(log n)
+///              per event instead of O(components) per cycle. Default.
+///   * polling: the legacy per-cycle loop that visits every core, bus and
+///              target each cycle. Kept for one release as the
+///              differential reference; both kernels produce bit-identical
+///              traces and latency statistics.
+enum class kernel_kind { polling, event };
+
+const char* to_string(kernel_kind k);
+
+/// Parses the --kernel CLI spellings "polling" / "event"; throws
+/// stx::invalid_argument_error on anything else.
+kernel_kind parse_kernel_kind(const std::string& name);
 
 /// Everything needed to instantiate a system around a set of programs.
 struct system_config {
@@ -28,6 +46,9 @@ struct system_config {
   bool keep_latency_samples = true;
   /// Seed for per-core compute jitter.
   std::uint64_t seed = 1;
+  /// Simulation kernel (see kernel_kind). Fixed for the system's
+  /// lifetime: resumed run() calls reuse the same kernel.
+  kernel_kind kernel = kernel_kind::event;
 };
 
 /// Cycle-accurate simulation of the Fig. 2(a) style MPSoC: program-driven
@@ -75,7 +96,15 @@ class mpsoc_system {
   /// Completed program iterations across all cores (throughput signal).
   std::int64_t total_iterations() const;
 
+  /// Accumulated event-kernel counters (all zero under polling).
+  const engine_stats& event_stats() const { return event_stats_; }
+
  private:
+  friend class engine;
+
+  void run_polling(cycle_t horizon);
+  void run_event(cycle_t horizon);
+
   system_config cfg_;
   std::vector<core> cores_;
   std::vector<memory_target> targets_;
@@ -85,6 +114,7 @@ class mpsoc_system {
   traffic::trace request_trace_;
   traffic::trace response_trace_;
   cycle_t now_ = 0;
+  engine_stats event_stats_;
 };
 
 }  // namespace stx::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/event_queue.h"
 #include "util/error.h"
 
 namespace stx::sim {
@@ -21,6 +22,11 @@ void memory_target::on_request(const packet& p, cycle_t now) {
   j.ready_at = start + params_.service_latency;
   busy_until_ = j.ready_at;
   jobs_.push_back(j);
+}
+
+cycle_t memory_target::next_wake(cycle_t earliest) const {
+  if (jobs_.empty()) return no_wake;
+  return std::max(jobs_.front().ready_at, earliest);
 }
 
 void memory_target::step(cycle_t now, const send_fn& send) {

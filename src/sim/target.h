@@ -31,6 +31,11 @@ class memory_target {
   /// Issues any reply that becomes ready at `now` through `send`.
   void step(cycle_t now, const send_fn& send);
 
+  /// Earliest cycle >= `earliest` a queued reply becomes ready, or
+  /// no_wake when no job is pending (ready times are nondecreasing, so
+  /// the front job is always the next one due).
+  cycle_t next_wake(cycle_t earliest) const;
+
   int id() const { return id_; }
   bool busy() const { return !jobs_.empty(); }
   std::int64_t served() const { return served_; }

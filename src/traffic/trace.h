@@ -20,6 +20,8 @@ struct stream_event {
   cycle_t begin = 0;     ///< first busy cycle (inclusive)
   cycle_t end = 0;       ///< one past the last busy cycle (exclusive)
   bool critical = false; ///< real-time stream requiring guarantees
+
+  bool operator==(const stream_event&) const = default;
 };
 
 /// A complete traffic trace for one crossbar direction.
@@ -57,6 +59,11 @@ class trace {
   /// adjacent events to the same target are merged).
   std::vector<std::pair<cycle_t, cycle_t>> busy_intervals(
       int target, bool critical_only = false) const;
+
+  /// Exact equality: dimensions, horizon and the full event sequence.
+  /// What "bit-identical traces" means for the simulation kernels'
+  /// differential verification (testkit invariant "kernel-equivalence").
+  bool operator==(const trace&) const = default;
 
   /// Writes / reads the portable single-file text format (`stxtrace v1`).
   void save(std::ostream& out) const;

@@ -1,5 +1,7 @@
 #include "workloads/app.h"
 
+#include <utility>
+
 #include "util/error.h"
 
 namespace stx::workloads {
@@ -33,27 +35,63 @@ void app_spec::validate() const {
   }
 }
 
-sim::mpsoc_system make_system(const app_spec& app,
-                              const sim::crossbar_config& req,
-                              const sim::crossbar_config& resp,
-                              const sim::system_config& base) {
+namespace {
+
+/// Validates the app and assembles the system_config every entry point
+/// (bare system or session) instantiates from.
+sim::system_config assemble_config(const app_spec& app,
+                                   const sim::crossbar_config& req,
+                                   const sim::crossbar_config& resp,
+                                   const sim::system_config& base) {
   app.validate();
   sim::system_config cfg = base;
   cfg.request = req;
   cfg.response = resp;
-  return sim::mpsoc_system(app.programs, app.num_targets, cfg,
-                           app.loop_starts);
+  return cfg;
 }
 
-sim::mpsoc_system make_full_crossbar_system(const app_spec& app,
-                                            const sim::system_config& base) {
+/// Full crossbars on both directions, inheriting the per-direction
+/// policy/overhead knobs from `base`.
+std::pair<sim::crossbar_config, sim::crossbar_config> full_crossbar_configs(
+    const app_spec& app, const sim::system_config& base) {
   auto req = sim::crossbar_config::full(app.num_targets);
   auto resp = sim::crossbar_config::full(app.num_initiators);
   req.policy = base.request.policy;
   req.transfer_overhead = base.request.transfer_overhead;
   resp.policy = base.response.policy;
   resp.transfer_overhead = base.response.transfer_overhead;
+  return {std::move(req), std::move(resp)};
+}
+
+}  // namespace
+
+sim::mpsoc_system make_system(const app_spec& app,
+                              const sim::crossbar_config& req,
+                              const sim::crossbar_config& resp,
+                              const sim::system_config& base) {
+  const auto cfg = assemble_config(app, req, resp, base);
+  return sim::mpsoc_system(app.programs, app.num_targets, cfg,
+                           app.loop_starts);
+}
+
+sim::mpsoc_system make_full_crossbar_system(const app_spec& app,
+                                            const sim::system_config& base) {
+  const auto [req, resp] = full_crossbar_configs(app, base);
   return make_system(app, req, resp, base);
+}
+
+sim::session make_session(const app_spec& app,
+                          const sim::crossbar_config& req,
+                          const sim::crossbar_config& resp,
+                          const sim::system_config& base) {
+  const auto cfg = assemble_config(app, req, resp, base);
+  return sim::session(app.programs, app.num_targets, cfg, app.loop_starts);
+}
+
+sim::session make_full_crossbar_session(const app_spec& app,
+                                        const sim::system_config& base) {
+  const auto [req, resp] = full_crossbar_configs(app, base);
+  return make_session(app, req, resp, base);
 }
 
 }  // namespace stx::workloads

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/core.h"
+#include "sim/session.h"
 #include "sim/system.h"
 
 namespace stx::workloads {
@@ -49,5 +50,19 @@ sim::mpsoc_system make_system(const app_spec& app,
 /// design-flow phase 1).
 sim::mpsoc_system make_full_crossbar_system(
     const app_spec& app, const sim::system_config& base = {});
+
+/// The unified sim-session entry point: builds a session around `app`
+/// with the given crossbar configs and simulator knobs (arbitration,
+/// overheads, seed, kernel — all carried by `base`). The design flow,
+/// the exploration trace cache and the fuzz oracle all simulate through
+/// this, so one semantic model serves every consumer.
+sim::session make_session(const app_spec& app,
+                          const sim::crossbar_config& req,
+                          const sim::crossbar_config& resp,
+                          const sim::system_config& base = {});
+
+/// Full crossbars on both directions, as a session.
+sim::session make_full_crossbar_session(const app_spec& app,
+                                        const sim::system_config& base = {});
 
 }  // namespace stx::workloads

@@ -21,24 +21,20 @@ std::vector<std::vector<traffic::cycle_t>> link_totals(
   return out;
 }
 
-validation_metrics measure(const sim::mpsoc_system& system) {
+/// The session harvest, reshaped into the flow's metric record (the
+/// session is the single source of how a run is measured; this only
+/// copies fields).
+validation_metrics to_validation(const sim::run_metrics& m) {
   validation_metrics out;
-  const auto lat = system.packet_latency();
-  if (lat.count() > 0) {
-    out.avg_latency = lat.mean();
-    out.max_latency = lat.max();
-    out.p99_latency = lat.keeps_samples() ? lat.percentile(0.99) : lat.max();
-  }
-  const auto crit = system.critical_packet_latency();
-  if (crit.count() > 0) {
-    out.avg_critical = crit.mean();
-    out.max_critical = crit.max();
-  }
-  out.packets = lat.count();
-  out.transactions = system.total_transactions();
-  out.iterations = system.total_iterations();
-  out.total_buses = system.request_crossbar().num_buses() +
-                    system.response_crossbar().num_buses();
+  out.avg_latency = m.avg_latency;
+  out.max_latency = m.max_latency;
+  out.p99_latency = m.p99_latency;
+  out.avg_critical = m.avg_critical;
+  out.max_critical = m.max_critical;
+  out.packets = m.packets;
+  out.transactions = m.transactions;
+  out.iterations = m.iterations;
+  out.total_buses = m.total_buses;
   return out;
 }
 
@@ -48,6 +44,7 @@ sim::system_config base_system_config(const flow_options& opts,
   cfg.record_traces = record_traces;
   cfg.keep_latency_samples = true;
   cfg.seed = opts.seed;
+  cfg.kernel = opts.kernel;
   cfg.request.policy = opts.policy;
   cfg.request.transfer_overhead = opts.transfer_overhead;
   cfg.response.policy = opts.policy;
@@ -68,20 +65,20 @@ design_params effective_synthesis_params(const flow_options& opts,
 
 collected_traces collect_traces(const workloads::app_spec& app,
                                 const flow_options& opts) {
-  auto base = base_system_config(opts, /*record_traces=*/true);
-  auto system = workloads::make_full_crossbar_system(app, base);
-  system.run(opts.horizon);
-  return {system.request_trace(), system.response_trace()};
+  auto session = workloads::make_full_crossbar_session(
+      app, base_system_config(opts, /*record_traces=*/true));
+  session.run(opts.horizon);
+  return {session.request_trace(), session.response_trace()};
 }
 
 validation_metrics validate_configuration(const workloads::app_spec& app,
                                           const sim::crossbar_config& req,
                                           const sim::crossbar_config& resp,
                                           const flow_options& opts) {
-  auto base = base_system_config(opts, /*record_traces=*/false);
-  auto system = workloads::make_system(app, req, resp, base);
-  system.run(opts.horizon);
-  return measure(system);
+  auto session = workloads::make_session(
+      app, req, resp, base_system_config(opts, /*record_traces=*/false));
+  session.run(opts.horizon);
+  return to_validation(session.metrics());
 }
 
 validation_metrics validate_full_crossbars(const workloads::app_spec& app,

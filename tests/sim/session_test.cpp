@@ -1,0 +1,83 @@
+// sim::session: the unified build-run-harvest API.
+#include "sim/session.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/mpsoc_apps.h"
+
+namespace stx::sim {
+namespace {
+
+core_op read_op(int target, int cells) {
+  core_op op;
+  op.op = core_op::kind::read;
+  op.target = target;
+  op.cells = cells;
+  return op;
+}
+
+TEST(Session, HarvestsTheSameMetricsAsTheBareSystem) {
+  const auto app = *workloads::make_app_by_name("qsort");
+  system_config cfg;
+  cfg.seed = 5;
+  auto session = workloads::make_full_crossbar_session(app, cfg);
+  session.run(20'000);
+  auto system = workloads::make_full_crossbar_system(app, cfg);
+  system.run(20'000);
+
+  const auto& m = session.metrics();
+  EXPECT_EQ(m.transactions, system.total_transactions());
+  EXPECT_EQ(m.iterations, system.total_iterations());
+  EXPECT_EQ(m.packets, system.packet_latency().count());
+  EXPECT_DOUBLE_EQ(m.avg_latency, system.packet_latency().mean());
+  EXPECT_DOUBLE_EQ(m.max_latency, system.packet_latency().max());
+  EXPECT_EQ(m.total_buses, system.request_crossbar().num_buses() +
+                               system.response_crossbar().num_buses());
+  EXPECT_TRUE(session.request_trace() == system.request_trace());
+  EXPECT_TRUE(session.response_trace() == system.response_trace());
+  // The free-function harvest is the same maths.
+  EXPECT_TRUE(harvest_metrics(system) == m);
+}
+
+TEST(Session, MetricsAreCachedUntilTheNextRun) {
+  system_config cfg;
+  cfg.request = crossbar_config::full(1);
+  cfg.response = crossbar_config::full(1);
+  session s({{read_op(0, 4)}}, 1, cfg);
+  s.run(500);
+  const auto* first = &s.metrics();
+  // Repeated queries return the identical cached object (no re-scan).
+  EXPECT_EQ(first, &s.metrics());
+  const auto snapshot = *first;
+  s.run(1000);
+  // Invalidation: a longer run re-harvests and sees more work.
+  EXPECT_GT(s.metrics().transactions, snapshot.transactions);
+  EXPECT_EQ(s.now(), 1000);
+}
+
+TEST(Session, CarriesTheKernelChoice) {
+  const auto app = *workloads::make_app_by_name("mat2");
+  system_config cfg;
+  cfg.kernel = kernel_kind::polling;
+  auto poll = workloads::make_full_crossbar_session(app, cfg);
+  poll.run(10'000);
+  EXPECT_EQ(poll.system().event_stats().events_processed, 0);
+  cfg.kernel = kernel_kind::event;
+  auto evt = workloads::make_full_crossbar_session(app, cfg);
+  evt.run(10'000);
+  EXPECT_GT(evt.system().event_stats().events_processed, 0);
+  EXPECT_TRUE(poll.metrics() == evt.metrics());
+}
+
+TEST(Session, CriticalMetricsFlowThrough) {
+  const auto app = *workloads::make_app_by_name("mat2-critical");
+  auto session = workloads::make_full_crossbar_session(app, {});
+  session.run(20'000);
+  const auto& m = session.metrics();
+  EXPECT_GT(m.packets, 0);
+  EXPECT_GT(m.avg_critical, 0.0);
+  EXPECT_GE(m.max_critical, m.avg_critical);
+}
+
+}  // namespace
+}  // namespace stx::sim
