@@ -27,6 +27,11 @@ inline void require_known_flags(const flag_set& flags,
   }
 }
 
+/// Floors a measured duration away from zero so derived rates stay
+/// finite (sub-resolution runs at tiny horizons would otherwise put inf
+/// into the JSON, which gen::json refuses to serialise).
+inline double finite_seconds(double secs) { return std::max(secs, 1e-9); }
+
 /// Default flow settings used by every paper-reproduction bench: one
 /// uniform window size (~2-4x the apps' characteristic burst length),
 /// 30% overlap threshold, maxtb 4, 120k-cycle simulations.

@@ -1,0 +1,35 @@
+// Helpers shared by the xbargen / xbar-sweep CLI drivers.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.h"
+#include "util/flags.h"
+#include "xbar/bb_solver.h"
+
+namespace stx::cli {
+
+/// Parses the solver search budgets (--solver-node-limit,
+/// --solver-time-ms) into `limits`. Throws invalid_argument_error on a
+/// malformed or out-of-range value (node limit < 1, negative time) —
+/// each driver catches, prints its usage and exits 2: a typo'd budget
+/// must never silently run with the default. One definition serves both
+/// CLIs so the validation contract cannot drift between them.
+inline void apply_solver_budget_flags(const flag_set& flags,
+                                      xbar::solver_options* limits) {
+  const std::int64_t nodes =
+      flags.get_int("solver-node-limit", limits->max_nodes);
+  if (nodes < 1) {
+    throw invalid_argument_error("--solver-node-limit must be >= 1");
+  }
+  const std::int64_t time_ms = flags.get_int(
+      "solver-time-ms",
+      static_cast<std::int64_t>(limits->time_limit_sec * 1000.0));
+  if (time_ms < 0) {
+    throw invalid_argument_error("--solver-time-ms must be >= 0");
+  }
+  limits->max_nodes = nodes;
+  limits->time_limit_sec = static_cast<double>(time_ms) / 1000.0;
+}
+
+}  // namespace stx::cli

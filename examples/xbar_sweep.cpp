@@ -17,8 +17,10 @@
 #include <cstdio>
 #include <thread>
 
+#include "cli_common.h"
 #include "explore/sweep.h"
 #include "gen/artifact.h"
+#include "util/error.h"
 #include "util/flags.h"
 #include "util/strings.h"
 #include "workloads/mpsoc_apps.h"
@@ -42,7 +44,10 @@ void print_usage(std::FILE* to) {
       "concurrency)\n"
       "  --horizon=N         simulation cycles (120000)\n"
       "  --seed=N            simulator seed (1)\n"
-      "  --kernel=KIND       simulation kernel, event|polling (event)\n"
+      "  --solver-node-limit=N  branch & bound node budget per solve "
+      "(> 0; default 20000000)\n"
+      "  --solver-time-ms=N  solver wall-clock budget per solve in "
+      "milliseconds (>= 0, 0 = unlimited; default 60000)\n"
       "  --validate=BOOL     per-point validation simulation (true)\n"
       "  --out-dir=DIR       write <basename>.json/.csv/.md artifacts\n"
       "  --basename=NAME     artifact filename stem (sweep)\n"
@@ -52,9 +57,20 @@ void print_usage(std::FILE* to) {
 
 const std::vector<std::string> kKnownFlags = {
     "app",      "grid",     "threads",  "horizon",        "seed",
-    "kernel",   "validate", "out-dir",  "basename",       "compare-serial",
-    "help",
+    "solver-node-limit",    "solver-time-ms",
+    "validate", "out-dir",  "basename", "compare-serial", "help",
 };
+
+/// Solver budget flags; malformed/out-of-range values exit 2 with usage.
+void pick_solver_limits(const flag_set& flags, xbar::solver_options* limits) {
+  try {
+    cli::apply_solver_budget_flags(flags, limits);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "xbar-sweep: %s\n", e.what());
+    print_usage(stderr);
+    std::exit(2);
+  }
+}
 
 int reject_unknown_flags(const flag_set& flags) {
   const int bad = report_unknown_flags(flags, kKnownFlags, "xbar-sweep");
@@ -137,13 +153,7 @@ int main(int argc, char** argv) {
     spec.apps = pick_apps(flags.get_string("app", "mat2"));
     spec.horizon = flags.get_int("horizon", 120'000);
     spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-    try {
-      spec.kernel =
-          sim::parse_kernel_kind(flags.get_string("kernel", "event"));
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "xbar-sweep: %s\n", e.what());
-      return 2;
-    }
+    pick_solver_limits(flags, &spec.synth_base.limits);
     spec.validate = flags.get_bool("validate", true);
     const int hw =
         std::max(1u, std::thread::hardware_concurrency());

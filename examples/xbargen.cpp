@@ -21,6 +21,7 @@
 
 #include "util/error.h"
 
+#include "cli_common.h"
 #include "explore/sweep.h"
 #include "gen/registry.h"
 #include "util/flags.h"
@@ -50,10 +51,11 @@ void print_usage(std::FILE* to) {
       "  --conflicts=BOOL    overlap-conflict pre-processing (true)\n"
       "  --critical=BOOL     separate critical streams (true)\n"
       "  --solver=KIND       specialized|milp (specialized)\n"
+      "  --solver-node-limit=N  branch & bound node budget per solve "
+      "(> 0; default 20000000)\n"
+      "  --solver-time-ms=N  solver wall-clock budget per solve in "
+      "milliseconds (>= 0, 0 = unlimited; default 60000)\n"
       "  --horizon=N         simulation cycles (120000)\n"
-      "  --kernel=KIND       simulation kernel, event|polling (event);\n"
-      "                      bit-identical results, polling is the legacy "
-      "reference\n"
       "  --grid KEY=V1,...   sweep an axis instead of one design point "
       "(repeatable;\n"
       "                      keys: win thr maxtb burstwin policy solver "
@@ -69,15 +71,14 @@ void print_usage(std::FILE* to) {
 const std::vector<std::string> kKnownFlags = {
     "app",      "trace",    "save-traces", "emit",     "out-dir",
     "window",   "threshold", "maxtb",      "conflicts", "critical",
-    "solver",   "horizon",  "kernel",      "grid",     "threads",
-    "help",
+    "solver",   "solver-node-limit", "solver-time-ms",
+    "horizon",  "grid",     "threads",    "help",
 };
 
-/// Parses --kernel; unknown spellings exit 2 with usage, like any other
-/// malformed flag.
-sim::kernel_kind pick_kernel(const flag_set& flags) {
+/// Solver budget flags; malformed/out-of-range values exit 2 with usage.
+void pick_solver_limits(const flag_set& flags, xbar::solver_options* limits) {
   try {
-    return sim::parse_kernel_kind(flags.get_string("kernel", "event"));
+    cli::apply_solver_budget_flags(flags, limits);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "xbargen: %s\n", e.what());
     print_usage(stderr);
@@ -136,6 +137,7 @@ xbar::synthesis_options synth_options(const flag_set& flags) {
   if (flags.get_string("solver", "specialized") == "milp") {
     so.solver = xbar::solver_kind::generic_milp;
   }
+  pick_solver_limits(flags, &so.limits);
   return so;
 }
 
@@ -183,7 +185,6 @@ int run_grid_sweep(const flag_set& flags) {
 
   spec.apps = {pick_app(flags.get_string("app", "mat2"))};
   spec.horizon = flags.get_int("horizon", 120'000);
-  spec.kernel = pick_kernel(flags);
   const unsigned hw = std::thread::hardware_concurrency();
   spec.threads = static_cast<int>(
       flags.get_int("threads", hw == 0 ? 1 : hw));
@@ -231,7 +232,6 @@ int design_from_app(const flag_set& flags) {
   }
   xbar::flow_options opts;
   opts.horizon = flags.get_int("horizon", 120'000);
-  opts.kernel = pick_kernel(flags);
   opts.synth = synth_options(flags);
 
   const auto save = flags.get_string("save-traces", "");

@@ -28,7 +28,6 @@ xbar::flow_options options_for(const sweep_spec& spec,
   opts.horizon = spec.horizon;
   opts.seed = spec.seed;
   opts.transfer_overhead = spec.transfer_overhead;
-  opts.kernel = spec.kernel;
   opts.policy = point.policy;
   opts.synth = spec.synth_base;
   opts.synth.params.window_size = point.window_size;

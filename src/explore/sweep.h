@@ -39,9 +39,6 @@ struct sweep_spec {
   traffic::cycle_t horizon = 120'000;
   std::uint64_t seed = 1;
   traffic::cycle_t transfer_overhead = 2;
-  /// Simulation kernel for every run (bit-identical kernels; this only
-  /// trades wall-clock — `event` skips idle spans).
-  sim::kernel_kind kernel = sim::kernel_kind::event;
 
   /// Run the per-point phase-4 validation simulation and the per-app
   /// full-crossbar reference. Off = synthesis-only sweeps (Figs. 5-6

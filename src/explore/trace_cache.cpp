@@ -4,11 +4,8 @@ namespace stx::explore {
 
 trace_cache::key_t trace_cache::make_key(const workloads::app_spec& app,
                                          const xbar::flow_options& opts) {
-  // The kernel enters the key even though the kernels are bit-identical:
-  // a cache must never turn a requested polling reference run into an
-  // event-kernel result while the polling fallback still exists.
   return {app.name, opts.horizon, opts.seed, static_cast<int>(opts.policy),
-          opts.transfer_overhead, static_cast<int>(opts.kernel)};
+          opts.transfer_overhead};
 }
 
 template <typename T, typename Load>

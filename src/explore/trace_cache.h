@@ -17,9 +17,9 @@
 namespace stx::explore {
 
 /// Memoises xbar::collect_traces and xbar::validate_full_crossbars per
-/// (app name, horizon, seed, policy, transfer_overhead, kernel) —
-/// everything the phase-1 simulation depends on; the synthesis knobs
-/// deliberately do not enter the key. Applications are identified by
+/// (app name, horizon, seed, policy, transfer_overhead) — everything the
+/// phase-1 simulation depends on; the synthesis knobs deliberately do
+/// not enter the key. Applications are identified by
 /// name: two different specs sharing a name would alias, so sweep specs
 /// must keep app names unique.
 ///
@@ -48,7 +48,7 @@ class trace_cache {
 
  private:
   using key_t = std::tuple<std::string, traffic::cycle_t, std::uint64_t,
-                           int, traffic::cycle_t, int>;
+                           int, traffic::cycle_t>;
 
   template <typename T>
   using store_t = std::map<key_t, std::shared_future<std::shared_ptr<const T>>>;

@@ -1,0 +1,35 @@
+#include "lp/basis.h"
+
+#include <cstddef>
+
+namespace stx::lp {
+
+bool basis_state::consistent() const {
+  const int rows = static_cast<int>(basic.size());
+  const int columns = static_cast<int>(status.size());
+  int basic_marks = 0;
+  for (const auto s : status) {
+    if (s == var_status::basic) ++basic_marks;
+  }
+  if (basic_marks != rows) return false;
+  for (const int b : basic) {
+    if (b < 0 || b >= columns) return false;
+    if (status[static_cast<std::size_t>(b)] != var_status::basic) {
+      return false;
+    }
+  }
+  // Distinctness: two rows must not claim the same basic column.
+  std::vector<bool> seen(static_cast<std::size_t>(columns), false);
+  for (const int b : basic) {
+    if (seen[static_cast<std::size_t>(b)]) return false;
+    seen[static_cast<std::size_t>(b)] = true;
+  }
+  return true;
+}
+
+bool basis_state::compatible(int rows, int columns) const {
+  return static_cast<int>(basic.size()) == rows &&
+         static_cast<int>(status.size()) == columns && consistent();
+}
+
+}  // namespace stx::lp

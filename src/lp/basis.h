@@ -1,0 +1,46 @@
+// Explicit simplex basis: the warm-start currency of the LP layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace stx::lp {
+
+/// Resting state of one column (structural, slack or artificial).
+enum class var_status : std::uint8_t {
+  basic,     ///< in the basis; value determined by the constraint system
+  at_lower,  ///< nonbasic, resting at its lower bound
+  at_upper,  ///< nonbasic, resting at its upper bound
+  free_nb,   ///< nonbasic free variable, resting at zero
+};
+
+/// A value-free simplex basis snapshot: which column is basic in each row
+/// plus the resting bound of every other column. Deliberately carries no
+/// variable VALUES — bounds may have changed since the snapshot was taken
+/// (that is exactly the branch & bound warm-start handshake: a child node
+/// re-attaches its parent's optimal basis after tightening one bound and
+/// lets the dual simplex repair primal feasibility).
+///
+/// A basis_state is only meaningful for the revised_solver instance (or
+/// an identically-shaped one: same model rows/columns) it was read from;
+/// `compatible` is the cheap shape check solvers apply before adopting
+/// a foreign snapshot.
+struct basis_state {
+  /// row -> column index of the basic variable of that row.
+  std::vector<int> basic;
+  /// column -> status; exactly `basic.size()` entries are var_status::basic.
+  std::vector<var_status> status;
+
+  bool empty() const { return basic.empty() && status.empty(); }
+
+  /// Structural consistency: shapes agree, indices are in range, every
+  /// `basic[r]` is marked basic, and the basic-status count matches the
+  /// row count. Does not (cannot) check invertibility.
+  bool consistent() const;
+
+  /// True when the snapshot can describe a system with `rows` rows and
+  /// `columns` total columns and passes `consistent()`.
+  bool compatible(int rows, int columns) const;
+};
+
+}  // namespace stx::lp

@@ -1,4 +1,10 @@
-// Bounded-variable two-phase primal simplex.
+// Bounded-variable two-phase primal simplex (legacy cold-solve engine).
+//
+// This is the tableau-based reference path: every solve is from scratch.
+// The warm-startable revised-simplex engine (lp/revised_simplex.h) is the
+// fast path; this engine is kept one release as its differential
+// reference (tests/lp cross-checks the two on random models) and for the
+// branch & bound's legacy cold mode (milp::bb_options::warm_start=false).
 #pragma once
 
 #include <string>
@@ -29,6 +35,11 @@ struct solve_options {
   /// Recompute basic values from the transformed rhs every this many
   /// pivots to cap numerical drift.
   int refresh_interval = 256;
+  /// Revised engine only: rebuild the basis factorization from scratch
+  /// every this many eta updates (and refresh basic values from it). The
+  /// drift bound tests shrink this to 1; raising it trades accuracy
+  /// checks for speed.
+  int refactor_interval = 64;
 };
 
 /// Solve outcome. `x` holds structural variable values (phase-2 basic

@@ -4,7 +4,13 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "lp/revised_simplex.h"
 #include "lp/simplex.h"
 #include "milp/presolve.h"
 #include "util/error.h"
@@ -26,9 +32,59 @@ namespace {
 
 constexpr double inf = std::numeric_limits<double>::infinity();
 
-class bb_engine {
+/// Shared incumbent bookkeeping of both engines.
+struct incumbent_pool {
+  bool have = false;
+  std::vector<double> x;
+  double objective = inf;
+
+  /// Snap integers exactly and keep on strict improvement.
+  bool accept(const model& m, const std::vector<double>& raw, double obj,
+              double gap_abs) {
+    std::vector<double> snapped = raw;
+    for (int v = 0; v < m.num_variables(); ++v) {
+      if (m.is_integer(v)) {
+        snapped[static_cast<std::size_t>(v)] =
+            std::round(snapped[static_cast<std::size_t>(v)]);
+      }
+    }
+    if (!have || obj < objective - gap_abs) {
+      x = std::move(snapped);
+      objective = obj;
+      have = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// Round-to-nearest heuristic: cheap incumbent seeding.
+  void try_rounding(const model& m, const std::vector<double>& raw,
+                    double gap_abs) {
+    std::vector<double> rounded = raw;
+    for (int v = 0; v < m.num_variables(); ++v) {
+      if (!m.is_integer(v)) continue;
+      auto& xv = rounded[static_cast<std::size_t>(v)];
+      xv = std::round(xv);
+      xv = std::clamp(xv, m.relaxation().var(v).lower,
+                      m.relaxation().var(v).upper);
+    }
+    if (m.is_feasible(rounded, 1e-6)) {
+      accept(m, rounded, m.relaxation().objective_value(rounded), gap_abs);
+    }
+  }
+};
+
+/// Fractional part distance from the nearest integer.
+double fractionality(double x) { return std::abs(x - std::round(x)); }
+
+// ===================================================================
+// Legacy engine: recursive DFS, full two-phase tableau cold solve at
+// every node. Kept one release as the warm engine's differential
+// reference (bb_options::warm_start = false).
+// ===================================================================
+class cold_bb_engine {
  public:
-  bb_engine(const model& m, const bb_options& opts)
+  cold_bb_engine(const model& m, const bb_options& opts)
       : m_(m), opts_(opts), work_(m.relaxation()) {
     start_ = std::chrono::steady_clock::now();
   }
@@ -38,12 +94,13 @@ class bb_engine {
     bb_result res;
     res.nodes = nodes_;
     res.lp_iterations = lp_iterations_;
-    res.best_bound = have_incumbent_ && search_complete()
-                         ? incumbent_obj_
+    res.cold_solves = nodes_;
+    res.best_bound = incumbent_.have && search_complete()
+                         ? incumbent_.objective
                          : open_bound_;
-    if (have_incumbent_) {
-      res.x = incumbent_;
-      res.objective = incumbent_obj_;
+    if (incumbent_.have) {
+      res.x = incumbent_.x;
+      res.objective = incumbent_.objective;
       res.status = search_complete() ? milp_status::optimal
                                      : milp_status::feasible;
       if (opts_.feasibility_only) res.status = milp_status::optimal;
@@ -71,11 +128,6 @@ class bb_engine {
 
   bool search_complete() const { return !limit_hit_ && !stop_; }
 
-  /// Fractional part distance from the nearest integer.
-  static double fractionality(double x) {
-    return std::abs(x - std::round(x));
-  }
-
   void dfs(int depth) {
     if (stop_) return;
     if (out_of_budget()) {
@@ -100,8 +152,8 @@ class bb_engine {
       return;
     }
 
-    if (have_incumbent_ && !opts_.feasibility_only &&
-        rel.objective >= incumbent_obj_ - opts_.gap_abs) {
+    if (incumbent_.have && !opts_.feasibility_only &&
+        rel.objective >= incumbent_.objective - opts_.gap_abs) {
       return;  // bound prune
     }
     open_bound_ = std::min(open_bound_, rel.objective);
@@ -120,13 +172,17 @@ class bb_engine {
 
     if (branch_var < 0) {
       // Integral: new incumbent.
-      accept_incumbent(rel.x, rel.objective);
+      incumbent_.accept(m_, rel.x, rel.objective, opts_.gap_abs);
+      if (opts_.feasibility_only) stop_ = true;
       return;
     }
 
-    if (opts_.rounding_heuristic && !have_incumbent_) {
-      try_rounding(rel.x);
-      if (stop_) return;
+    if (opts_.rounding_heuristic && !incumbent_.have) {
+      incumbent_.try_rounding(m_, rel.x, opts_.gap_abs);
+      if (incumbent_.have && opts_.feasibility_only) {
+        stop_ = true;
+        return;
+      }
     }
 
     const double xv = rel.x[static_cast<std::size_t>(branch_var)];
@@ -153,38 +209,6 @@ class bb_engine {
     }
   }
 
-  void accept_incumbent(const std::vector<double>& x, double obj) {
-    // Snap integers exactly; re-verify against the (current-bounds) model.
-    std::vector<double> snapped = x;
-    for (int v = 0; v < m_.num_variables(); ++v) {
-      if (m_.is_integer(v)) {
-        snapped[static_cast<std::size_t>(v)] =
-            std::round(snapped[static_cast<std::size_t>(v)]);
-      }
-    }
-    if (!have_incumbent_ || obj < incumbent_obj_ - opts_.gap_abs) {
-      incumbent_ = std::move(snapped);
-      incumbent_obj_ = obj;
-      have_incumbent_ = true;
-      if (opts_.feasibility_only) stop_ = true;
-    }
-  }
-
-  /// Round-to-nearest heuristic: cheap incumbent seeding.
-  void try_rounding(const std::vector<double>& x) {
-    std::vector<double> rounded = x;
-    for (int v = 0; v < m_.num_variables(); ++v) {
-      if (!m_.is_integer(v)) continue;
-      auto& xv = rounded[static_cast<std::size_t>(v)];
-      xv = std::round(xv);
-      xv = std::clamp(xv, m_.relaxation().var(v).lower,
-                      m_.relaxation().var(v).upper);
-    }
-    if (m_.is_feasible(rounded, 1e-6)) {
-      accept_incumbent(rounded, m_.relaxation().objective_value(rounded));
-    }
-  }
-
   const model& m_;
   const bb_options& opts_;
   lp::model work_;  // mutable bounds during the search
@@ -192,21 +216,338 @@ class bb_engine {
 
   std::int64_t nodes_ = 0;
   std::int64_t lp_iterations_ = 0;
-  bool have_incumbent_ = false;
-  std::vector<double> incumbent_;
-  double incumbent_obj_ = inf;
+  incumbent_pool incumbent_;
   double open_bound_ = inf;
   bool limit_hit_ = false;
   bool stop_ = false;
   bool hit_unbounded_ = false;
 };
 
+// ===================================================================
+// Warm engine: best-bound search over explicit nodes, each re-solved
+// from its parent's basis with the dual simplex.
+// ===================================================================
+class warm_bb_engine {
+ public:
+  warm_bb_engine(const model& m, const bb_options& opts)
+      : m_(m), opts_(opts), solver_(m.relaxation(), {}) {
+    start_ = std::chrono::steady_clock::now();
+    const int n = m_.num_variables();
+    root_lo_.resize(static_cast<std::size_t>(n));
+    root_hi_.resize(static_cast<std::size_t>(n));
+    pc_down_.resize(static_cast<std::size_t>(n));
+    pc_up_.resize(static_cast<std::size_t>(n));
+    pc_down_n_.assign(static_cast<std::size_t>(n), 0);
+    pc_up_n_.assign(static_cast<std::size_t>(n), 0);
+    for (int v = 0; v < n; ++v) {
+      const auto& vv = m_.relaxation().var(v);
+      root_lo_[static_cast<std::size_t>(v)] = vv.lower;
+      root_hi_[static_cast<std::size_t>(v)] = vv.upper;
+      // Pseudocost initialisation: the objective coefficient is the
+      // first-order estimate of the degradation one unit of bound
+      // movement causes; +1 keeps zero-cost variables (the feasibility
+      // MILP) rankable by fractionality alone.
+      pc_down_[static_cast<std::size_t>(v)] = std::abs(vv.objective) + 1.0;
+      pc_up_[static_cast<std::size_t>(v)] = std::abs(vv.objective) + 1.0;
+    }
+  }
+
+  bb_result run() {
+    {
+      auto root = std::make_shared<node>();
+      root->bound = -inf;
+      root->id = next_id_++;
+      open_.push(std::move(root));
+    }
+
+    while (!open_.empty() && !stop_) {
+      if (out_of_budget()) {
+        limit_hit_ = true;
+        break;
+      }
+      const node_ptr nd = open_.top();
+      open_.pop();
+      if (incumbent_.have && !opts_.feasibility_only &&
+          nd->bound >= incumbent_.objective - opts_.gap_abs) {
+        continue;  // pruned without an LP solve
+      }
+      process(nd);
+    }
+
+    bb_result res;
+    res.nodes = nodes_;
+    res.lp_iterations = lp_iterations_;
+    res.warm_solves = warm_solves_;
+    res.cold_solves = cold_solves_;
+    const bool complete = !limit_hit_ && !stop_;
+    if (incumbent_.have && (complete || opts_.feasibility_only)) {
+      res.best_bound = incumbent_.objective;
+    } else if (!open_.empty()) {
+      // Best-bound order: the top of the heap IS the global lower bound
+      // over the unexplored frontier.
+      res.best_bound = std::min(open_.top()->bound, open_bound_);
+    } else {
+      res.best_bound = open_bound_;
+    }
+    if (incumbent_.have) {
+      res.x = incumbent_.x;
+      res.objective = incumbent_.objective;
+      res.status =
+          complete ? milp_status::optimal : milp_status::feasible;
+      if (opts_.feasibility_only) res.status = milp_status::optimal;
+    } else if (hit_unbounded_) {
+      res.status = milp_status::unbounded;
+    } else if (complete) {
+      res.status = milp_status::infeasible;
+    } else {
+      res.status = milp_status::limit;
+    }
+    return res;
+  }
+
+ private:
+  struct node {
+    double bound = -inf;   ///< parent's LP objective: lower bound here
+    std::int64_t id = 0;   ///< creation order; larger = newer
+    int depth = 0;
+    int var = -1;          ///< bound change vs the parent (none at root)
+    double lo = 0.0, hi = 0.0;
+    bool up = false;              ///< which side of the split this is
+    double frac_moved = 0.0;      ///< fractional distance the bound moved
+    std::shared_ptr<const node> parent;
+    std::shared_ptr<const lp::basis_state> warm;  ///< parent's basis
+  };
+  using node_ptr = std::shared_ptr<const node>;
+
+  /// Min-heap on the bound; ties pop the NEWEST node first — the
+  /// deterministic DFS plunge that keeps the warm basis one bound-change
+  /// away from the node it is applied to whenever bounds tie (the common
+  /// case on the feasibility MILP, where every bound is zero).
+  struct node_order {
+    bool operator()(const node_ptr& a, const node_ptr& b) const {
+      if (a->bound != b->bound) return a->bound > b->bound;
+      return a->id < b->id;
+    }
+  };
+
+  bool out_of_budget() const {
+    if (nodes_ >= opts_.max_nodes) return true;
+    if (opts_.time_limit_sec > 0.0) {
+      const auto elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count();
+      if (elapsed > opts_.time_limit_sec) return true;
+    }
+    return false;
+  }
+
+  /// Moves the solver's bounds from the previously processed node's to
+  /// `nd`'s (reset what the previous chain touched, apply this chain;
+  /// child-deepest setting wins within the chain).
+  void apply_bounds(const node_ptr& nd) {
+    std::unordered_map<int, std::pair<double, double>> wanted;
+    for (const node* cur = nd.get(); cur != nullptr;
+         cur = cur->parent.get()) {
+      if (cur->var < 0) continue;
+      wanted.emplace(cur->var, std::make_pair(cur->lo, cur->hi));
+    }
+    for (const int v : applied_) {
+      if (wanted.find(v) == wanted.end()) {
+        solver_.set_bounds(v, root_lo_[static_cast<std::size_t>(v)],
+                           root_hi_[static_cast<std::size_t>(v)]);
+      }
+    }
+    applied_.clear();
+    current_.clear();
+    for (const auto& [v, b] : wanted) {
+      solver_.set_bounds(v, b.first, b.second);
+      applied_.push_back(v);
+      current_.emplace(v, b);
+    }
+  }
+
+  std::pair<double, double> effective_bounds(int v) const {
+    const auto it = current_.find(v);
+    if (it != current_.end()) return it->second;
+    return {root_lo_[static_cast<std::size_t>(v)],
+            root_hi_[static_cast<std::size_t>(v)]};
+  }
+
+  void process(const node_ptr& nd) {
+    apply_bounds(nd);
+    ++nodes_;
+
+    lp::solve_result rel;
+    if (nd->warm != nullptr) {
+      rel = solver_.solve_from(*nd->warm);
+      // An internal cold restart (stale basis, singular factorization)
+      // counts as a cold solve: the telemetry must name the engine that
+      // actually produced the answer.
+      if (solver_.last_solve_fell_back()) {
+        ++cold_solves_;
+      } else {
+        ++warm_solves_;
+      }
+    } else {
+      rel = solver_.solve();
+      ++cold_solves_;
+    }
+    lp_iterations_ += rel.iterations;
+
+    if (rel.status == lp::solve_status::infeasible) return;
+    if (rel.status == lp::solve_status::unbounded) {
+      if (nd->depth == 0) hit_unbounded_ = true;
+      limit_hit_ = nd->depth != 0;
+      return;
+    }
+    if (rel.status == lp::solve_status::iteration_limit) {
+      limit_hit_ = true;
+      return;
+    }
+
+    // Pseudocost update: observed objective degradation per unit of
+    // fractional distance the branching bound moved.
+    if (nd->var >= 0 && nd->bound > -inf &&
+        nd->frac_moved > opts_.int_tol) {
+      const double gain =
+          std::max(0.0, rel.objective - nd->bound) / nd->frac_moved;
+      auto& pc = nd->up ? pc_up_ : pc_down_;
+      auto& cnt = nd->up ? pc_up_n_ : pc_down_n_;
+      const auto sv = static_cast<std::size_t>(nd->var);
+      pc[sv] = (pc[sv] * cnt[sv] + gain) / (cnt[sv] + 1);
+      ++cnt[sv];
+    }
+
+    if (incumbent_.have && !opts_.feasibility_only &&
+        rel.objective >= incumbent_.objective - opts_.gap_abs) {
+      return;  // bound prune on the solved objective
+    }
+    open_bound_ = std::min(open_bound_, rel.objective);
+
+    // Pseudocost-weighted most-fractional branching: rank fractional
+    // integer variables by estimated two-sided degradation; break ties
+    // toward higher fractionality, then the smallest index (all
+    // deterministic).
+    int branch_var = -1;
+    double best_score = 0.0;
+    double best_dist = 0.0;
+    for (int v = 0; v < m_.num_variables(); ++v) {
+      if (!m_.is_integer(v)) continue;
+      const double xv = rel.x[static_cast<std::size_t>(v)];
+      const double f = xv - std::floor(xv);
+      const double dist = std::min(f, 1.0 - f);
+      if (dist <= opts_.int_tol) continue;
+      const double est_down =
+          std::max(pc_down_[static_cast<std::size_t>(v)] * f, 1e-6);
+      const double est_up =
+          std::max(pc_up_[static_cast<std::size_t>(v)] * (1.0 - f), 1e-6);
+      const double score = est_down * est_up;
+      if (branch_var < 0 || score > best_score + 1e-12 ||
+          (score > best_score - 1e-12 && dist > best_dist + 1e-12)) {
+        branch_var = v;
+        best_score = score;
+        best_dist = dist;
+      }
+    }
+
+    if (branch_var < 0) {
+      incumbent_.accept(m_, rel.x, rel.objective, opts_.gap_abs);
+      if (opts_.feasibility_only) stop_ = true;
+      return;
+    }
+
+    if (opts_.rounding_heuristic && !incumbent_.have) {
+      incumbent_.try_rounding(m_, rel.x, opts_.gap_abs);
+      if (incumbent_.have && opts_.feasibility_only) {
+        stop_ = true;
+        return;
+      }
+    }
+
+    const double xv = rel.x[static_cast<std::size_t>(branch_var)];
+    const double floor_v = std::floor(xv);
+    const double ceil_v = floor_v + 1.0;
+    const auto [cur_lo, cur_hi] = effective_bounds(branch_var);
+    const double f = xv - floor_v;
+
+    // Children inherit this node's optimal basis; the heap caps how many
+    // snapshots stay alive (beyond that, a child simply cold-solves —
+    // correctness never depends on the warm path).
+    std::shared_ptr<const lp::basis_state> basis;
+    if (open_.size() < kMaxOpenWithBases) {
+      basis = std::make_shared<lp::basis_state>(solver_.last_basis());
+    }
+
+    // Push the farther-from-LP-value side first: the nearer side gets
+    // the larger id and wins the tie-break, reproducing the legacy
+    // engine's plunge order under equal bounds.
+    const bool up_first = f >= 0.5;
+    for (int side = 0; side < 2; ++side) {
+      const bool up = (side == 1) == up_first;
+      auto child = std::make_shared<node>();
+      child->bound = rel.objective;
+      child->depth = nd->depth + 1;
+      child->var = branch_var;
+      child->up = up;
+      child->parent = nd;
+      child->warm = basis;
+      if (up) {
+        if (ceil_v > cur_hi + opts_.int_tol) continue;
+        child->lo = ceil_v;
+        child->hi = cur_hi;
+        child->frac_moved = 1.0 - f;
+      } else {
+        if (floor_v < cur_lo - opts_.int_tol) continue;
+        child->lo = cur_lo;
+        child->hi = floor_v;
+        child->frac_moved = f;
+      }
+      child->id = next_id_++;
+      open_.push(std::move(child));
+    }
+  }
+
+  static constexpr std::size_t kMaxOpenWithBases = 65'536;
+
+  const model& m_;
+  const bb_options& opts_;
+  lp::revised_solver solver_;
+  std::chrono::steady_clock::time_point start_;
+
+  std::vector<double> root_lo_, root_hi_;
+  std::vector<double> pc_down_, pc_up_;
+  std::vector<std::int64_t> pc_down_n_, pc_up_n_;
+
+  std::priority_queue<node_ptr, std::vector<node_ptr>, node_order> open_;
+  std::vector<int> applied_;  ///< vars whose bounds differ from root
+  std::unordered_map<int, std::pair<double, double>> current_;
+  std::int64_t next_id_ = 0;
+
+  std::int64_t nodes_ = 0;
+  std::int64_t lp_iterations_ = 0;
+  std::int64_t warm_solves_ = 0;
+  std::int64_t cold_solves_ = 0;
+  incumbent_pool incumbent_;
+  double open_bound_ = inf;
+  bool limit_hit_ = false;
+  bool stop_ = false;
+  bool hit_unbounded_ = false;
+};
+
+bb_result run_engine(const model& m, const bb_options& opts) {
+  if (opts.warm_start) {
+    warm_bb_engine engine(m, opts);
+    return engine.run();
+  }
+  cold_bb_engine engine(m, opts);
+  return engine.run();
+}
+
 }  // namespace
 
 bb_result solve_branch_bound(const model& m, const bb_options& opts) {
   if (!opts.use_presolve) {
-    bb_engine engine(m, opts);
-    return engine.run();
+    return run_engine(m, opts);
   }
 
   const auto pre = presolve(m);
@@ -231,8 +572,7 @@ bb_result solve_branch_bound(const model& m, const bb_options& opts) {
     return res;
   }
 
-  bb_engine engine(pre.reduced, opts);
-  auto res = engine.run();
+  auto res = run_engine(pre.reduced, opts);
   if (res.status == milp_status::optimal ||
       res.status == milp_status::feasible) {
     res.x = pre.expand(res.x);

@@ -50,6 +50,25 @@ bool model::is_integer(int var) const {
   return integer_[static_cast<std::size_t>(var)];
 }
 
+void model::add_symmetry_group(std::vector<std::vector<int>> blocks) {
+  STX_REQUIRE(blocks.size() >= 2,
+              "a symmetry group needs at least two blocks");
+  const std::size_t len = blocks.front().size();
+  STX_REQUIRE(len > 0, "symmetry blocks must not be empty");
+  for (const auto& block : blocks) {
+    STX_REQUIRE(block.size() == len,
+                "symmetry blocks must all have the same size");
+    for (const int v : block) {
+      STX_REQUIRE(v >= 0 && v < num_variables(),
+                  "symmetry block names an unknown variable");
+      STX_REQUIRE(is_integer(v) && relaxation_.var(v).lower >= 0.0 &&
+                      relaxation_.var(v).upper <= 1.0,
+                  "symmetry blocks must consist of binary variables");
+    }
+  }
+  symmetry_groups_.push_back(std::move(blocks));
+}
+
 bool model::is_feasible(const std::vector<double>& x, double tol) const {
   if (!relaxation_.is_feasible(x, tol)) return false;
   for (int v = 0; v < num_variables(); ++v) {

@@ -47,9 +47,28 @@ class model {
   /// True when `x` satisfies rows, bounds and integrality within `tol`.
   bool is_feasible(const std::vector<double>& x, double tol = 1e-6) const;
 
+  /// Declares that the equal-sized variable BLOCKS of `blocks` are
+  /// pairwise interchangeable: permuting the blocks of any feasible
+  /// solution (together with whatever auxiliary variables the caller's
+  /// formulation permutes alongside) yields another feasible solution
+  /// with the same objective. All listed variables must be binary.
+  ///
+  /// This is the crossbar formulation's bus symmetry (Eq. 3-9: block k =
+  /// the x[i][k] column of bus k): any binding survives a bus
+  /// relabelling. `presolve` turns each declared group into lexicographic
+  /// ordering rows between consecutive blocks, pruning the factorially
+  /// many permuted copies from the branch & bound tree while keeping at
+  /// least one optimal representative (the blocks sorted lex-descending).
+  void add_symmetry_group(std::vector<std::vector<int>> blocks);
+
+  const std::vector<std::vector<std::vector<int>>>& symmetry_groups() const {
+    return symmetry_groups_;
+  }
+
  private:
   lp::model relaxation_;
   std::vector<bool> integer_;
+  std::vector<std::vector<std::vector<int>>> symmetry_groups_;
 };
 
 }  // namespace stx::milp

@@ -174,6 +174,35 @@ presolved_model presolve(const model& m, int max_passes) {
     st.rows.push_back(work_row{rr.terms, rr.rel, rr.rhs, true});
   }
 
+  // Symmetry breaking: each declared group of interchangeable binary
+  // blocks (the crossbar's bus columns) gets lexicographic ordering rows
+  // between consecutive blocks,
+  //
+  //   sum_i 2^(L-1-i) * (block_k[i] - block_{k+1}[i]) >= 0,
+  //
+  // selecting the lex-descending representative of every permutation
+  // orbit. Power-of-two weights encode the full lex order exactly; the
+  // prefix is capped at 53 bits so the weights stay exact in doubles
+  // (beyond that the order is only partially broken, still valid). These
+  // are ordinary rows from here on: substitution and redundancy dropping
+  // apply to them like to any model row.
+  for (const auto& group : m.symmetry_groups()) {
+    const int len =
+        std::min(static_cast<int>(group.front().size()), 53);
+    for (std::size_t k = 0; k + 1 < group.size(); ++k) {
+      std::vector<lp::term> terms;
+      terms.reserve(static_cast<std::size_t>(2 * len));
+      for (int i = 0; i < len; ++i) {
+        const double w = std::ldexp(1.0, len - 1 - i);
+        terms.push_back(lp::term{group[k][static_cast<std::size_t>(i)], w});
+        terms.push_back(
+            lp::term{group[k + 1][static_cast<std::size_t>(i)], -w});
+      }
+      st.rows.push_back(
+          work_row{std::move(terms), lp::relation::greater_equal, 0.0, true});
+    }
+  }
+
   // Round integer bounds inward once up front.
   for (int v = 0; v < n; ++v) {
     if (!st.integer[static_cast<std::size_t>(v)]) continue;

@@ -27,6 +27,10 @@ struct presolved_model {
 };
 
 /// Iterated presolve:
+///  * each symmetry group declared on the model (interchangeable binary
+///    blocks — the crossbar formulation's bus columns) is rewritten into
+///    lexicographic ordering rows between consecutive blocks, pruning the
+///    factorially-symmetric part of the branch & bound tree up front;
 ///  * variables with equal bounds are fixed and substituted into rows;
 ///  * singleton rows tighten the bounds of their single variable and are
 ///    dropped;

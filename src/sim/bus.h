@@ -34,8 +34,9 @@ class bus {
 
   /// Advances one cycle. Completes an in-flight transfer whose last cell
   /// lands this cycle (invoking `deliver`), then, if idle, arbitrates and
-  /// starts the next transfer. Polling-kernel entry point: the caller
-  /// must invoke it every cycle (busy cycles are counted eagerly).
+  /// starts the next transfer. Per-cycle entry point (the retired polling
+  /// kernel's; kept for the unit tests that drive a bus cycle by cycle):
+  /// the caller must invoke it every cycle (busy cycles counted eagerly).
   void step(cycle_t now, const deliver_fn& deliver);
 
   /// Event-kernel entry point: same decision procedure as step(), but
@@ -52,7 +53,7 @@ class bus {
   cycle_t next_wake(cycle_t earliest) const;
 
   /// Accounts the busy span of an in-flight transfer up to `now`
-  /// (exclusive) so busy_cycles() matches the polling kernel at a run
+  /// (exclusive) so busy_cycles() matches per-cycle stepping at a run
   /// horizon that cuts a transfer in half.
   void sync_busy(cycle_t now);
 

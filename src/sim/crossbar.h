@@ -54,7 +54,8 @@ class crossbar {
   void enqueue(const packet& p);
 
   /// Steps every bus one cycle; `deliver` fires for each completed packet
-  /// after latency accounting. Polling-kernel entry point.
+  /// after latency accounting. Per-cycle entry point (kept for the unit
+  /// tests; the system runs on the event kernel).
   void step(cycle_t now, const deliver_fn& deliver);
 
   /// Event-kernel entry point: wakes one bus (same latency accounting as

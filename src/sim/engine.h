@@ -1,8 +1,10 @@
 // Event-driven simulation kernel.
 //
-// The legacy polling loop visits every core, bus and target every cycle,
-// even when nothing can advance — O(components) per cycle no matter how
-// idle the system is. The engine instead keeps a calendar queue of wake
+// A per-cycle polling loop would visit every core, bus and target every
+// cycle, even when nothing can advance — O(components) per cycle no
+// matter how idle the system is (the seed repo's kernel worked that way;
+// it soaked one release as the differential reference and was retired).
+// The engine instead keeps a calendar queue of wake
 // events: components register the next cycle at which their step function
 // could change state (compute completions, transfer completions, reply
 // ready times, barrier poll deadlines), external interactions (a request
@@ -10,16 +12,17 @@
 // affected component, and whole idle spans are skipped in O(log n) per
 // event.
 //
-// Equivalence contract: events are processed in (cycle, phase, component)
-// order, where the phases replicate the polling loop's per-cycle sweep
-// (cores -> request buses -> targets -> response buses) and the component
-// id is the same iteration order the loop used. Because every component's
-// step/wake function is a no-op whenever nothing can advance, the engine
-// may *add* spurious wakes freely but must never miss a state-changing
-// one — under that discipline both kernels produce bit-identical traces,
-// latency statistics and RNG streams. The differential harness in
-// src/testkit (invariant "kernel-equivalence") and tests/sim enforce
-// this on every built-in app and on randomized systems.
+// Determinism contract: events are processed in (cycle, phase,
+// component) order, where the phases replicate the retired polling
+// loop's per-cycle sweep (cores -> request buses -> targets -> response
+// buses) and the component id is the same iteration order that loop
+// used. Because every component's step/wake function is a no-op whenever
+// nothing can advance, the engine may *add* spurious wakes freely but
+// must never miss a state-changing one — the discipline under which the
+// retired kernel and this one produced bit-identical traces, latency
+// statistics and RNG streams for a full release (testkit invariant
+// "kernel-equivalence", now retired with the polling loop; tests/sim
+// still enforce segmented-run determinism).
 #pragma once
 
 #include "sim/event_queue.h"

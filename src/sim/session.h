@@ -38,8 +38,7 @@ struct run_metrics {
 /// One simulation run from construction to a (resumable) horizon.
 class session {
  public:
-  /// Same contract as mpsoc_system's constructor; cfg.kernel selects the
-  /// simulation kernel.
+  /// Same contract as mpsoc_system's constructor.
   session(std::vector<std::vector<core_op>> programs, int num_targets,
           const system_config& cfg, std::vector<std::size_t> loop_starts = {});
 

@@ -5,21 +5,6 @@
 
 namespace stx::sim {
 
-const char* to_string(kernel_kind k) {
-  switch (k) {
-    case kernel_kind::polling: return "polling";
-    case kernel_kind::event: return "event";
-  }
-  return "?";
-}
-
-kernel_kind parse_kernel_kind(const std::string& name) {
-  if (name == "polling") return kernel_kind::polling;
-  if (name == "event") return kernel_kind::event;
-  throw invalid_argument_error("unknown simulation kernel '" + name +
-                               "' (polling|event)");
-}
-
 mpsoc_system::mpsoc_system(std::vector<std::vector<core_op>> programs,
                            int num_targets, const system_config& cfg,
                            std::vector<std::size_t> loop_starts)
@@ -59,11 +44,7 @@ mpsoc_system::mpsoc_system(std::vector<std::vector<core_op>> programs,
 
 void mpsoc_system::run(cycle_t horizon) {
   STX_REQUIRE(horizon >= now_, "cannot run backwards");
-  if (cfg_.kernel == kernel_kind::event) {
-    run_event(horizon);
-  } else {
-    run_polling(horizon);
-  }
+  run_event(horizon);
   request_trace_.extend_horizon(now_);
   response_trace_.extend_horizon(now_);
 }
@@ -77,45 +58,9 @@ void mpsoc_system::run_event(cycle_t horizon) {
   event_stats_.cycles_visited += e.stats().cycles_visited;
 }
 
-void mpsoc_system::run_polling(cycle_t horizon) {
-  const send_fn send_request = [&](const packet& p) {
-    request_xbar_.enqueue(p);
-  };
-
-  for (; now_ < horizon; ++now_) {
-    // 1. Cores may issue new requests.
-    for (auto& c : cores_) {
-      c.step(now_, send_request, barriers_);
-    }
-
-    // 2. Request crossbar moves cells toward targets.
-    request_xbar_.step(now_, [&](const packet& p, cycle_t rb, cycle_t re) {
-      if (cfg_.record_traces) {
-        request_trace_.add(
-            {p.dest, p.source, rb, re, p.critical});
-      }
-      targets_[static_cast<std::size_t>(p.dest)].on_request(p, re);
-    });
-
-    // 3. Targets emit ready replies.
-    for (auto& t : targets_) {
-      t.step(now_, [&](const packet& reply) {
-        packet stamped = reply;
-        stamped.issue = now_;
-        response_xbar_.enqueue(stamped);
-      });
-    }
-
-    // 4. Response crossbar moves cells back to cores.
-    response_xbar_.step(now_, [&](const packet& p, cycle_t rb, cycle_t re) {
-      if (cfg_.record_traces) {
-        // On the response direction the receiving endpoint is the core.
-        response_trace_.add(
-            {p.dest, p.source, rb, re, p.critical});
-      }
-      cores_[static_cast<std::size_t>(p.dest)].on_response(p, re);
-    });
-  }
+int mpsoc_system::num_components() const {
+  return num_cores() + num_targets() + request_xbar_.num_buses() +
+         response_xbar_.num_buses();
 }
 
 const core& mpsoc_system::core_at(int i) const {

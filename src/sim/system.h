@@ -13,24 +13,13 @@
 
 namespace stx::sim {
 
-/// Which simulation kernel drives the components.
-///
-///   * event:   calendar-queue kernel (sim::engine) — components register
-///              next-wake times and idle spans are skipped in O(log n)
-///              per event instead of O(components) per cycle. Default.
-///   * polling: the legacy per-cycle loop that visits every core, bus and
-///              target each cycle. Kept for one release as the
-///              differential reference; both kernels produce bit-identical
-///              traces and latency statistics.
-enum class kernel_kind { polling, event };
-
-const char* to_string(kernel_kind k);
-
-/// Parses the --kernel CLI spellings "polling" / "event"; throws
-/// stx::invalid_argument_error on anything else.
-kernel_kind parse_kernel_kind(const std::string& name);
-
 /// Everything needed to instantiate a system around a set of programs.
+/// Simulation runs on the event-driven calendar-queue kernel
+/// (sim::engine): components register next-wake times and idle spans are
+/// skipped in O(log n) per event instead of O(components) per cycle. The
+/// legacy per-cycle polling loop soaked one release as the differential
+/// reference (testkit invariant "kernel-equivalence", bit-identical
+/// traces and statistics) and has been retired.
 struct system_config {
   /// Initiator->target crossbar (binding size = number of targets).
   crossbar_config request;
@@ -46,9 +35,6 @@ struct system_config {
   bool keep_latency_samples = true;
   /// Seed for per-core compute jitter.
   std::uint64_t seed = 1;
-  /// Simulation kernel (see kernel_kind). Fixed for the system's
-  /// lifetime: resumed run() calls reuse the same kernel.
-  kernel_kind kernel = kernel_kind::event;
 };
 
 /// Cycle-accurate simulation of the Fig. 2(a) style MPSoC: program-driven
@@ -72,6 +58,10 @@ class mpsoc_system {
   cycle_t now() const { return now_; }
   int num_cores() const { return static_cast<int>(cores_.size()); }
   int num_targets() const { return static_cast<int>(targets_.size()); }
+  /// Cores + targets + buses of both crossbars: the retired polling
+  /// loop's per-cycle step count, i.e. the cost model the event kernel
+  /// is measured against (sim perf guard, ablation_sim_throughput).
+  int num_components() const;
 
   const crossbar& request_crossbar() const { return request_xbar_; }
   const crossbar& response_crossbar() const { return response_xbar_; }
@@ -96,13 +86,12 @@ class mpsoc_system {
   /// Completed program iterations across all cores (throughput signal).
   std::int64_t total_iterations() const;
 
-  /// Accumulated event-kernel counters (all zero under polling).
+  /// Accumulated event-kernel counters.
   const engine_stats& event_stats() const { return event_stats_; }
 
  private:
   friend class engine;
 
-  void run_polling(cycle_t horizon);
   void run_event(cycle_t horizon);
 
   system_config cfg_;

@@ -349,69 +349,6 @@ void check_solver_agreement(const xbar::collected_traces& traces,
   }
 }
 
-namespace {
-
-void compare_kernel_traces(const char* label, const traffic::trace& base,
-                           const traffic::trace& alt,
-                           std::vector<violation>* out) {
-  if (base == alt) return;
-  std::string detail = std::string(label) + " traces diverge between kernels";
-  if (base.events().size() != alt.events().size()) {
-    detail += " (" + std::to_string(base.events().size()) + " vs " +
-              std::to_string(alt.events().size()) + " events)";
-  } else if (base.horizon() != alt.horizon()) {
-    detail += " (horizon " + std::to_string(base.horizon()) + " vs " +
-              std::to_string(alt.horizon()) + ")";
-  } else {
-    for (std::size_t i = 0; i < base.events().size(); ++i) {
-      if (!(base.events()[i] == alt.events()[i])) {
-        const auto& a = base.events()[i];
-        const auto& b = alt.events()[i];
-        detail += " (first divergence at event #" + std::to_string(i) +
-                  ": [" + std::to_string(a.begin) + "," +
-                  std::to_string(a.end) + ") i" + std::to_string(a.initiator) +
-                  "->t" + std::to_string(a.target) + " vs [" +
-                  std::to_string(b.begin) + "," + std::to_string(b.end) +
-                  ") i" + std::to_string(b.initiator) + "->t" +
-                  std::to_string(b.target) + ")";
-        break;
-      }
-    }
-  }
-  add(out, "kernel-equivalence", detail);
-}
-
-}  // namespace
-
-void check_kernel_equivalence(const workloads::app_spec& app,
-                              const xbar::collected_traces& traces,
-                              const xbar::flow_options& opts,
-                              const xbar::flow_report& report,
-                              std::vector<violation>* out) {
-  // Re-run phase 1 and the full-crossbar reference under the kernel the
-  // flow did NOT use; anything short of bit-identity is a violation.
-  auto other = opts;
-  other.kernel = opts.kernel == sim::kernel_kind::event
-                     ? sim::kernel_kind::polling
-                     : sim::kernel_kind::event;
-  const auto other_traces = xbar::collect_traces(app, other);
-  compare_kernel_traces("request", traces.request, other_traces.request, out);
-  compare_kernel_traces("response", traces.response, other_traces.response,
-                        out);
-  const auto other_full = xbar::validate_full_crossbars(app, other);
-  if (!(other_full == report.full)) {
-    add(out, "kernel-equivalence",
-        std::string("full-crossbar reference metrics diverge between "
-                    "kernels (") +
-            sim::to_string(opts.kernel) + " avg=" +
-            std::to_string(report.full.avg_latency) + " packets=" +
-            std::to_string(report.full.packets) + ", " +
-            sim::to_string(other.kernel) + " avg=" +
-            std::to_string(other_full.avg_latency) + " packets=" +
-            std::to_string(other_full.packets) + ")");
-  }
-}
-
 std::vector<violation> check_flow_invariants(
     const workloads::app_spec& app, const xbar::collected_traces& traces,
     const xbar::flow_options& opts, const xbar::flow_report& report,
@@ -424,9 +361,6 @@ std::vector<violation> check_flow_invariants(
   check_metrics(report, &out);
   check_feasibility(traces, opts, report, &out);
   check_solver_agreement(traces, opts, report, oopts, &out);
-  if (oopts.kernel_equivalence) {
-    check_kernel_equivalence(app, traces, opts, report, &out);
-  }
   return out;
 }
 

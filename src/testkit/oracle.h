@@ -45,12 +45,6 @@ struct oracle_options {
   /// keeps fuzz verdicts machine-independent.
   bool solver_agreement = true;
   int solver_agreement_max_targets = 10;
-  /// Differentially verify the simulation kernels: re-run the scenario's
-  /// phase-1 collection and full-crossbar reference under the *other*
-  /// kernel (event when the flow used polling and vice versa) and demand
-  /// bit-identical traces and metrics. Costs two extra simulations per
-  /// scenario; disable for pure synthesis fuzzing.
-  bool kernel_equivalence = true;
   /// Skip the cross-check when windows * targets exceeds this: LP size,
   /// not target count, is what makes the generic solver slow, and the
   /// differential signal is just as strong on the small models.
@@ -108,16 +102,9 @@ void check_solver_agreement(const xbar::collected_traces& traces,
                             const oracle_options& oopts,
                             std::vector<violation>* out);
 
-/// "kernel-equivalence": the event-driven kernel and the legacy polling
-/// loop are interchangeable on this scenario — the phase-1 traces
-/// re-collected under the other kernel match `traces` event for event,
-/// and the full-crossbar reference metrics re-measured under the other
-/// kernel match `report.full` bit for bit.
-void check_kernel_equivalence(const workloads::app_spec& app,
-                              const xbar::collected_traces& traces,
-                              const xbar::flow_options& opts,
-                              const xbar::flow_report& report,
-                              std::vector<violation>* out);
+// (The "kernel-equivalence" invariant — bit-identity of the event-driven
+// and legacy polling kernels — soaked one release and retired with the
+// polling kernel itself; see CHANGES.md.)
 
 /// Runs every check above on one completed flow. `traces` must be the
 /// phase-1 traces the report was designed from and `opts` the flow

@@ -60,9 +60,10 @@ class trace {
   std::vector<std::pair<cycle_t, cycle_t>> busy_intervals(
       int target, bool critical_only = false) const;
 
-  /// Exact equality: dimensions, horizon and the full event sequence.
-  /// What "bit-identical traces" means for the simulation kernels'
-  /// differential verification (testkit invariant "kernel-equivalence").
+  /// Exact equality: dimensions, horizon and the full event sequence —
+  /// what "bit-identical traces" means wherever runs are compared
+  /// differentially (segmented-run determinism tests; historically the
+  /// polling/event kernel-equivalence invariant).
   bool operator==(const trace&) const = default;
 
   /// Writes / reads the portable single-file text format (`stxtrace v1`).

@@ -53,7 +53,7 @@ sim::mpsoc_system make_full_crossbar_system(
 
 /// The unified sim-session entry point: builds a session around `app`
 /// with the given crossbar configs and simulator knobs (arbitration,
-/// overheads, seed, kernel — all carried by `base`). The design flow,
+/// overheads, seed — all carried by `base`). The design flow,
 /// the exploration trace cache and the fuzz oracle all simulate through
 /// this, so one semantic model serves every consumer.
 sim::session make_session(const app_spec& app,

@@ -23,6 +23,12 @@ namespace stx::xbar {
 struct solver_options {
   std::int64_t max_nodes = 20'000'000;
   double time_limit_sec = 60.0;
+  /// Generic-MILP path only: solve with the warm-started incremental
+  /// branch & bound (parent-basis dual-simplex re-solves; the fast path).
+  /// false selects the legacy per-node cold solve, kept one release as
+  /// the differential reference — outcomes are identical either way
+  /// (tests/xbar/solver_warm_equivalence_test pins this).
+  bool warm_start = true;
 };
 
 /// Search telemetry.

@@ -44,7 +44,6 @@ sim::system_config base_system_config(const flow_options& opts,
   cfg.record_traces = record_traces;
   cfg.keep_latency_samples = true;
   cfg.seed = opts.seed;
-  cfg.kernel = opts.kernel;
   cfg.request.policy = opts.policy;
   cfg.request.transfer_overhead = opts.transfer_overhead;
   cfg.response.policy = opts.policy;

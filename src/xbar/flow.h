@@ -43,11 +43,6 @@ struct flow_options {
   sim::arbitration policy = sim::arbitration::round_robin;
   traffic::cycle_t transfer_overhead = 2;
   std::uint64_t seed = 1;
-  /// Simulation kernel for every run of the flow. The kernels are
-  /// bit-identical (enforced differentially by testkit), so this only
-  /// changes wall-clock; `polling` remains for one release as the
-  /// reference.
-  sim::kernel_kind kernel = sim::kernel_kind::event;
 };
 
 /// Everything the flow produced for one application. This is also the

@@ -148,6 +148,25 @@ xbar_milp build_common(const synthesis_input& input, int num_buses,
     }
   }
 
+  // Bus-index symmetry: the buses of Eq. 3-9 are fully interchangeable
+  // (permuting k permutes x and sb columns together and fixes the
+  // objective), so declare the x columns as a symmetry group. Presolve
+  // turns the declaration into lexicographic bus-ordering rows — the
+  // canonical representative (buses sorted by least bound target) also
+  // satisfies the prefix fixing below, so the two reductions compose.
+  if (B > 1) {
+    std::vector<std::vector<int>> blocks(static_cast<std::size_t>(B));
+    for (int k = 0; k < B; ++k) {
+      auto& block = blocks[static_cast<std::size_t>(k)];
+      block.reserve(static_cast<std::size_t>(T));
+      for (int i = 0; i < T; ++i) {
+        block.push_back(out.x[static_cast<std::size_t>(i)]
+                             [static_cast<std::size_t>(k)]);
+      }
+    }
+    m.add_symmetry_group(std::move(blocks));
+  }
+
   // Symmetry breaking over interchangeable buses: bus k may only be used
   // when bus k-1 is (monotone bus-usage). This does not change
   // feasibility or the optimal objective, only removes permuted copies

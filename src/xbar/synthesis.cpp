@@ -48,6 +48,7 @@ bool probe_feasible(const synthesis_input& input, int num_buses,
   milp::bb_options mo;
   mo.max_nodes = opts.limits.max_nodes;
   mo.time_limit_sec = opts.limits.time_limit_sec;
+  mo.warm_start = opts.limits.warm_start;
   return solve_feasibility_milp(input, num_buses, mo).has_value();
 }
 
@@ -111,6 +112,7 @@ crossbar_design synthesize(const synthesis_input& input,
     milp::bb_options mo;
     mo.max_nodes = opts.limits.max_nodes;
     mo.time_limit_sec = opts.limits.time_limit_sec;
+    mo.warm_start = opts.limits.warm_start;
     if (opts.optimize_binding) {
       const auto sol = solve_binding_milp(input, out.num_buses, mo);
       STX_ENSURE(sol.has_value(),

@@ -55,18 +55,12 @@ TEST(Session, MetricsAreCachedUntilTheNextRun) {
   EXPECT_EQ(s.now(), 1000);
 }
 
-TEST(Session, CarriesTheKernelChoice) {
+TEST(Session, RunsOnTheEventKernel) {
   const auto app = *workloads::make_app_by_name("mat2");
-  system_config cfg;
-  cfg.kernel = kernel_kind::polling;
-  auto poll = workloads::make_full_crossbar_session(app, cfg);
-  poll.run(10'000);
-  EXPECT_EQ(poll.system().event_stats().events_processed, 0);
-  cfg.kernel = kernel_kind::event;
-  auto evt = workloads::make_full_crossbar_session(app, cfg);
+  auto evt = workloads::make_full_crossbar_session(app, {});
   evt.run(10'000);
   EXPECT_GT(evt.system().event_stats().events_processed, 0);
-  EXPECT_TRUE(poll.metrics() == evt.metrics());
+  EXPECT_GT(evt.metrics().transactions, 0);
 }
 
 TEST(Session, CriticalMetricsFlowThrough) {

@@ -181,52 +181,5 @@ TEST(Oracle, SolverAgreementRespectsTheSizeGate) {
   EXPECT_TRUE(vs.empty()) << to_string(vs);
 }
 
-TEST(Oracle, KernelEquivalenceCleanOnRealFlow) {
-  const auto& f = fixture();
-  std::vector<violation> vs;
-  check_kernel_equivalence(f.app, f.traces, f.opts, f.report, &vs);
-  EXPECT_TRUE(vs.empty()) << to_string(vs);
-}
-
-TEST(Oracle, KernelEquivalenceCatchesTamperedTrace) {
-  const auto& f = fixture();
-  auto tampered = f.traces;
-  ASSERT_FALSE(tampered.request.events().empty());
-  // Shift one event by a cycle: the other kernel's re-collection can no
-  // longer match event for event.
-  auto events = tampered.request.events();
-  traffic::trace shifted(tampered.request.num_targets(),
-                         tampered.request.num_initiators(),
-                         tampered.request.horizon());
-  events.front().end += 1;
-  for (const auto& e : events) shifted.add(e);
-  tampered.request = shifted;
-  std::vector<violation> vs;
-  check_kernel_equivalence(f.app, tampered, f.opts, f.report, &vs);
-  EXPECT_TRUE(has_invariant(vs, "kernel-equivalence")) << to_string(vs);
-}
-
-TEST(Oracle, KernelEquivalenceCatchesTamperedReferenceMetrics) {
-  const auto& f = fixture();
-  auto broken = f.report;
-  broken.full.avg_latency += 0.5;
-  std::vector<violation> vs;
-  check_kernel_equivalence(f.app, f.traces, f.opts, broken, &vs);
-  EXPECT_TRUE(has_invariant(vs, "kernel-equivalence")) << to_string(vs);
-}
-
-TEST(Oracle, KernelEquivalenceRunsFromEitherKernel) {
-  // Symmetric: a flow run under the polling kernel is checked against an
-  // event re-collection and must pass just as cleanly.
-  const auto& f = fixture();
-  auto opts = f.opts;
-  opts.kernel = sim::kernel_kind::polling;
-  const auto traces = xbar::collect_traces(f.app, opts);
-  const auto report = xbar::design_from_traces(f.app, traces, opts);
-  std::vector<violation> vs;
-  check_kernel_equivalence(f.app, traces, opts, report, &vs);
-  EXPECT_TRUE(vs.empty()) << to_string(vs);
-}
-
 }  // namespace
 }  // namespace stx::testkit

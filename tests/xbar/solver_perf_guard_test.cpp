@@ -1,0 +1,71 @@
+// Solver perf guard (ctest label `bench`): the warm-started incremental
+// branch & bound must never spend MORE LP iterations than the legacy
+// cold path on the built-in applications' binding models — the whole
+// point of inheriting the parent basis is replacing full two-phase
+// solves with a handful of dual pivots. Iteration counts are
+// deterministic (no wall clock), so this cannot flake on a loaded
+// machine; the measured margin is ~25-140x (bench/ablation_solver), so
+// tripping the 1x bound means the warm path has actually regressed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "milp/branch_bound.h"
+#include "workloads/mpsoc_apps.h"
+#include "xbar/flow.h"
+#include "xbar/milp_formulation.h"
+#include "xbar/synthesis.h"
+
+namespace stx::xbar {
+namespace {
+
+TEST(SolverPerfGuard, WarmNeverExceedsColdLpIterationsOnBuiltinApps) {
+  constexpr traffic::cycle_t kHorizon = 8'000;
+  constexpr int kMaxTargets = 10;  // keep the cold reference tractable
+  int guarded = 0;
+  for (const auto& name : workloads::app_names()) {
+    const auto app = *workloads::make_app_by_name(name);
+    flow_options opts;
+    opts.horizon = kHorizon;
+    opts.synth.params.window_size = 400;
+    opts.synth.params.overlap_threshold = 0.30;
+    opts.synth.params.max_targets_per_bus = 4;
+    const auto traces = collect_traces(app, opts);
+    const auto input =
+        input_from_trace(traces.request, opts.synth.params);
+    if (input.num_targets() > kMaxTargets) continue;
+    synthesis_options so;
+    so.params = input.params();
+    const int buses = min_feasible_buses(input, so);
+    const auto bm = build_binding_milp(input, buses);
+
+    // Node budgets only: a wall-clock limit would make the guard's
+    // verdict depend on machine speed.
+    milp::bb_options warm;
+    warm.warm_start = true;
+    warm.time_limit_sec = 0.0;
+    milp::bb_options cold;
+    cold.warm_start = false;
+    cold.time_limit_sec = 0.0;
+    const auto w = milp::solve_branch_bound(bm.model, warm);
+    const auto c = milp::solve_branch_bound(bm.model, cold);
+    ASSERT_EQ(w.status, milp::milp_status::optimal) << name;
+    ASSERT_EQ(c.status, milp::milp_status::optimal) << name;
+    EXPECT_NEAR(w.objective, c.objective, 1e-6) << name;
+    EXPECT_LE(w.lp_iterations, c.lp_iterations)
+        << name << ": warm " << w.lp_iterations << " vs cold "
+        << c.lp_iterations << " LP iterations (" << w.nodes << " / "
+        << c.nodes << " nodes)";
+    ::testing::Test::RecordProperty(
+        name + "_lp_iteration_speedup",
+        std::to_string(static_cast<double>(c.lp_iterations) /
+                       static_cast<double>(std::max<std::int64_t>(
+                           1, w.lp_iterations))));
+    ++guarded;
+  }
+  EXPECT_GE(guarded, 3) << "too few tractable apps reached the guard";
+}
+
+}  // namespace
+}  // namespace stx::xbar
