@@ -14,11 +14,12 @@
 // A second section times the phase-2 window analysis over the synthetic
 // trace (the other hot path of sweep-heavy runs). JSON schema
 // `stx-bench-sim/v2`:
-//   {results: [{workload, wall_seconds, cycles_per_second, transactions,
-//               events_processed, work_ratio_vs_polling_model}],
-//    window_analysis: [{window_size, wall_seconds}]}
+//   {results: [{workload, wall_seconds, median_wall_seconds,
+//               cycles_per_second, transactions, events_processed,
+//               work_ratio_vs_polling_model}],
+//    window_analysis: [{window_size, wall_seconds,
+//                       median_wall_seconds}]}
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -69,7 +70,8 @@ std::vector<workload> make_workloads() {
 }
 
 struct measurement {
-  double wall_seconds = 0.0;
+  double wall_seconds = 0.0;         ///< minimum over the repeats
+  double median_wall_seconds = 0.0;
   std::int64_t transactions = 0;
   std::int64_t iterations = 0;
   std::int64_t events_processed = 0;
@@ -83,12 +85,10 @@ measurement run_once(const workloads::app_spec& app,
   cfg.record_traces = false;
   cfg.keep_latency_samples = false;
   auto system = workloads::make_full_crossbar_system(app, cfg);
-  const auto t0 = std::chrono::steady_clock::now();
+  obs::stopwatch sw;
   system.run(horizon);
-  const auto t1 = std::chrono::steady_clock::now();
   measurement m;
-  m.wall_seconds = bench::finite_seconds(
-      std::chrono::duration<double>(t1 - t0).count());
+  m.wall_seconds = bench::finite_seconds(sw.seconds());
   m.transactions = system.total_transactions();
   m.iterations = system.total_iterations();
   m.events_processed = system.event_stats().events_processed;
@@ -98,11 +98,16 @@ measurement run_once(const workloads::app_spec& app,
 
 measurement best_of(const workloads::app_spec& app, traffic::cycle_t horizon,
                     int repeats) {
-  measurement best = run_once(app, horizon);
-  for (int r = 1; r < repeats; ++r) {
+  measurement best;
+  const auto acc = bench::time_reps(repeats, [&](int) {
+    // The simulation is deterministic (fixed seed): every repeat yields
+    // the same counters, only the wall time varies.
     const auto m = run_once(app, horizon);
-    if (m.wall_seconds < best.wall_seconds) best = m;
-  }
+    best = m;
+    return m.wall_seconds;
+  });
+  best.wall_seconds = acc.min_seconds();
+  best.median_wall_seconds = acc.median_seconds();
   return best;
 }
 
@@ -146,6 +151,7 @@ int main(int argc, char** argv) {
     results.push_back(gen::json::object{
         {"workload", w.name},
         {"wall_seconds", m.wall_seconds},
+        {"median_wall_seconds", m.median_wall_seconds},
         {"cycles_per_second", cps},
         {"transactions", m.transactions},
         {"events_processed", m.events_processed},
@@ -162,21 +168,19 @@ int main(int argc, char** argv) {
   table wt({"Window (cycles)", "Wall (s)"});
   gen::json::array window_results;
   for (const traffic::cycle_t ws : {200, 2'000, 20'000}) {
-    double best = 0.0;
-    for (int r = 0; r < repeats; ++r) {
-      const auto t0 = std::chrono::steady_clock::now();
+    const auto acc = bench::time_reps(repeats, [&](int) {
+      obs::stopwatch sw;
       traffic::window_analysis wa(traces.request, ws);
       volatile auto keep = wa.total_overlap(0, 1);
       (void)keep;
-      const double secs = bench::finite_seconds(
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count());
-      if (r == 0 || secs < best) best = secs;
-    }
+      return sw.seconds();
+    });
+    const double best = acc.min_seconds();
     wt.cell(static_cast<std::int64_t>(ws)).cell(best, 4).end_row();
     window_results.push_back(gen::json::object{
         {"window_size", static_cast<std::int64_t>(ws)},
         {"wall_seconds", best},
+        {"median_wall_seconds", acc.median_seconds()},
     });
   }
   std::printf("\nwindow analysis over the synthetic phase-1 trace:\n%s",

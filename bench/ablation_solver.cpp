@@ -15,15 +15,15 @@
 // JSON schema `stx-bench-solver/v1`:
 //   {results: [{instance, targets, buses, variables, rows,
 //               warm:  {nodes, lp_iterations, wall_seconds,
-//                       solves_per_second, warm_solves, cold_solves},
+//                       median_wall_seconds, solves_per_second,
+//                       warm_solves, cold_solves},
 //               cold:  {nodes, lp_iterations, wall_seconds,
-//                       solves_per_second},
+//                       median_wall_seconds, solves_per_second},
 //               speedup_lp_iterations, speedup_wall}],
 //    summary: {instances, total_warm_lp_iterations,
 //              total_cold_lp_iterations, lp_iteration_speedup,
 //              wall_speedup}}
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -85,7 +85,8 @@ instance make_scenario_instance(std::uint64_t seed) {
 
 struct measurement {
   milp::bb_result result;
-  double wall_seconds = 0.0;
+  double wall_seconds = 0.0;         ///< minimum over the repeats
+  double median_wall_seconds = 0.0;
 };
 
 measurement solve_best_of(const milp::model& m, bool warm, int repeats) {
@@ -96,17 +97,15 @@ measurement solve_best_of(const milp::model& m, bool warm, int repeats) {
   // divergence check would misread machine speed as an engine bug.
   opts.time_limit_sec = 0.0;
   measurement best;
-  for (int r = 0; r < repeats; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    auto res = milp::solve_branch_bound(m, opts);
-    const double secs = bench::finite_seconds(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count());
-    if (r == 0 || secs < best.wall_seconds) {
-      best.result = std::move(res);
-      best.wall_seconds = secs;
-    }
-  }
+  const auto acc = bench::time_reps(repeats, [&](int) {
+    obs::stopwatch sw;
+    // Both engines are deterministic: every repeat produces the same
+    // result, so keeping the last is keeping them all.
+    best.result = milp::solve_branch_bound(m, opts);
+    return sw.seconds();
+  });
+  best.wall_seconds = acc.min_seconds();
+  best.median_wall_seconds = acc.median_seconds();
   return best;
 }
 
@@ -192,6 +191,7 @@ int main(int argc, char** argv) {
           {"nodes", m.result.nodes},
           {"lp_iterations", m.result.lp_iterations},
           {"wall_seconds", m.wall_seconds},
+          {"median_wall_seconds", m.median_wall_seconds},
           {"solves_per_second",
            static_cast<double>(m.result.nodes) / m.wall_seconds},
           {"warm_solves", m.result.warm_solves},

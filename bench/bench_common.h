@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "util/flags.h"
 #include "util/table.h"
 #include "workloads/mpsoc_apps.h"
@@ -31,6 +32,22 @@ inline void require_known_flags(const flag_set& flags,
 /// finite (sub-resolution runs at tiny horizons would otherwise put inf
 /// into the JSON, which gen::json refuses to serialise).
 inline double finite_seconds(double secs) { return std::max(secs, 1e-9); }
+
+/// The one repeated-measurement loop every bench uses: runs `fn(rep)`
+/// `repeats` times (at least once) and records each returned duration —
+/// `fn` measures its own timed region and returns seconds, so setup work
+/// inside the callback stays out of the measurement. The returned
+/// accumulator is the single definition of "minimum / median wall time
+/// over N repetitions" (obs::latency_accumulator), replacing the
+/// hand-rolled min-of-N loops each bench previously duplicated.
+template <typename Fn>
+obs::latency_accumulator time_reps(int repeats, Fn&& fn) {
+  obs::latency_accumulator acc;
+  for (int r = 0; r < std::max(repeats, 1); ++r) {
+    acc.record(finite_seconds(fn(r)));
+  }
+  return acc;
+}
 
 /// Default flow settings used by every paper-reproduction bench: one
 /// uniform window size (~2-4x the apps' characteristic burst length),

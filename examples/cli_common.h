@@ -2,7 +2,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "util/error.h"
 #include "util/flags.h"
 #include "xbar/bb_solver.h"
@@ -31,5 +34,32 @@ inline void apply_solver_budget_flags(const flag_set& flags,
   limits->max_nodes = nodes;
   limits->time_limit_sec = static_cast<double>(time_ms) / 1000.0;
 }
+
+/// The --trace-out / --metrics-out contract shared by all three CLIs:
+/// construct after flag parsing (telemetry collection turns on only when
+/// at least one output was requested — otherwise every obs entry point
+/// stays a no-op), call finish() after the work completes to write the
+/// requested files. Write failures throw invalid_argument_error, which
+/// the drivers' existing catch blocks turn into exit 1.
+class obs_output {
+ public:
+  explicit obs_output(const flag_set& flags)
+      : trace_path_(flags.get_string("trace-out", "")),
+        metrics_path_(flags.get_string("metrics-out", "")) {
+    if (!trace_path_.empty() || !metrics_path_.empty()) {
+      obs::reset();
+      obs::enable();
+    }
+  }
+
+  void finish() const {
+    if (!trace_path_.empty()) obs::write_trace_json(trace_path_);
+    if (!metrics_path_.empty()) obs::write_metrics_json(metrics_path_);
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+};
 
 }  // namespace stx::cli

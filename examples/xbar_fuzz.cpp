@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_common.h"
 #include "gen/artifact.h"
 #include "testkit/fuzz.h"
 #include "testkit/golden.h"
@@ -41,13 +42,16 @@ void print_usage(std::FILE* to) {
       "  --latency-factor=F  oracle degradation bound factor (8.0)\n"
       "  --latency-slack=F   oracle degradation bound slack cycles (50)\n"
       "  --solver-check=BOOL cross-check bus counts against the generic\n"
-      "                      MILP solver (true)\n");
+      "                      MILP solver (true)\n"
+      "  --trace-out=FILE    write a Chrome/Perfetto trace of the run\n"
+      "  --metrics-out=FILE  write an stx-metrics/v1 counter snapshot\n");
 }
 
 const std::vector<std::string> kKnownFlags = {
     "runs",           "seed",          "shrink",       "json",
     "scenario",       "regen-goldens", "latency-factor",
     "latency-slack",  "solver-check",  "help",
+    "trace-out",      "metrics-out",
 };
 
 testkit::oracle_options oracle_options_from(const flag_set& flags) {
@@ -122,6 +126,14 @@ int run_campaign(const flag_set& flags) {
     return 2;
   }
 
+  // Campaign mode always collects the metrics registry so the v2 report
+  // can break oracle cost down per invariant (the --trace-out /
+  // --metrics-out handling in main may have turned collection on already).
+  if (!obs::enabled()) {
+    obs::reset();
+    obs::enable();
+  }
+
   const auto report = testkit::run_fuzz(
       opts, [](int k, const testkit::scenario& s, bool failed) {
         if (failed) {
@@ -178,9 +190,19 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
-    if (flags.has("scenario")) return run_one_scenario(flags);
-    if (flags.has("regen-goldens")) return regen_goldens(flags);
-    return run_campaign(flags);
+    const cli::obs_output obs_out(flags);
+    int rc;
+    if (flags.has("scenario")) {
+      rc = run_one_scenario(flags);
+    } else if (flags.has("regen-goldens")) {
+      rc = regen_goldens(flags);
+    } else {
+      rc = run_campaign(flags);
+    }
+    // Exit 1 is "campaign found violations", still a completed run whose
+    // telemetry is worth keeping; only bad usage (2) skips the write.
+    if (rc != 2) obs_out.finish();
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "xbar-fuzz: %s\n", e.what());
     return flags.has("scenario") ? 2 : 1;

@@ -52,13 +52,16 @@ void print_usage(std::FILE* to) {
       "  --out-dir=DIR       write <basename>.json/.csv/.md artifacts\n"
       "  --basename=NAME     artifact filename stem (sweep)\n"
       "  --compare-serial    also time the equivalent per-point "
-      "run_design_flow loop\n");
+      "run_design_flow loop\n"
+      "  --trace-out=FILE    write a Chrome/Perfetto trace of the run\n"
+      "  --metrics-out=FILE  write an stx-metrics/v1 counter snapshot\n");
 }
 
 const std::vector<std::string> kKnownFlags = {
     "app",      "grid",     "threads",  "horizon",        "seed",
     "solver-node-limit",    "solver-time-ms",
     "validate", "out-dir",  "basename", "compare-serial", "help",
+    "trace-out", "metrics-out",
 };
 
 /// Solver budget flags; malformed/out-of-range values exit 2 with usage.
@@ -150,6 +153,7 @@ int main(int argc, char** argv) {
   }
 
   try {
+    const cli::obs_output obs_out(flags);
     spec.apps = pick_apps(flags.get_string("app", "mat2"));
     spec.horizon = flags.get_int("horizon", 120'000);
     spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
@@ -204,6 +208,7 @@ int main(int argc, char** argv) {
                     arts[i].content.size());
       }
     }
+    obs_out.finish();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "xbar-sweep: %s\n", e.what());

@@ -63,7 +63,9 @@ void print_usage(std::FILE* to) {
       "                      unswept axes take their values from the "
       "flags above\n"
       "  --threads=N         sweep worker threads (hardware "
-      "concurrency)\n");
+      "concurrency)\n"
+      "  --trace-out=FILE    write a Chrome/Perfetto trace of the run\n"
+      "  --metrics-out=FILE  write an stx-metrics/v1 counter snapshot\n");
 }
 
 /// Every flag xbargen understands; anything else is an error (exit 2),
@@ -73,6 +75,7 @@ const std::vector<std::string> kKnownFlags = {
     "window",   "threshold", "maxtb",      "conflicts", "critical",
     "solver",   "solver-node-limit", "solver-time-ms",
     "horizon",  "grid",     "threads",    "help",
+    "trace-out", "metrics-out",
 };
 
 /// Solver budget flags; malformed/out-of-range values exit 2 with usage.
@@ -294,9 +297,17 @@ int main(int argc, char** argv) {
   }
   if (reject_unknown_flags(flags) > 0) return 2;
   try {
-    if (flags.has("grid")) return run_grid_sweep(flags);
-    if (flags.has("trace")) return design_from_trace(flags);
-    return design_from_app(flags);
+    const cli::obs_output obs_out(flags);
+    int rc;
+    if (flags.has("grid")) {
+      rc = run_grid_sweep(flags);
+    } else if (flags.has("trace")) {
+      rc = design_from_trace(flags);
+    } else {
+      rc = design_from_app(flags);
+    }
+    if (rc == 0) obs_out.finish();
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "xbargen: %s\n", e.what());
     return 1;

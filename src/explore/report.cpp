@@ -122,6 +122,20 @@ std::string render_json(const sweep_report& report) {
   for (const auto i : report.pareto) {
     pareto.push_back(static_cast<std::int64_t>(i));
   }
+  json::array cache;
+  cache.reserve(report.cache.size());
+  for (const auto& c : report.cache) {
+    cache.push_back(json::object{
+        {"app", c.app_name},
+        {"horizon", static_cast<std::int64_t>(report.horizon)},
+        {"seed", static_cast<std::int64_t>(report.seed)},
+        {"trace_hits", c.trace_hits},
+        {"trace_misses", c.trace_misses},
+        {"full_hits", c.full_hits},
+        {"full_misses", c.full_misses},
+        {"trace_hit_ratio", c.trace_hit_ratio()},
+    });
+  }
   json::object doc{
       {"format", "stxbar-sweep-v1"},
       {"horizon", static_cast<std::int64_t>(report.horizon)},
@@ -129,6 +143,7 @@ std::string render_json(const sweep_report& report) {
       {"points", static_cast<std::int64_t>(report.results.size())},
       {"phase1_simulations", report.phase1_simulations},
       {"full_simulations", report.full_simulations},
+      {"cache", std::move(cache)},
       {"results", std::move(results)},
       {"pareto", std::move(pareto)},
   };
@@ -187,6 +202,23 @@ std::string render_markdown(const sweep_report& report) {
          " (trace cache shares one per app/settings key)\n";
   out += "- full-crossbar reference simulations: " +
          std::to_string(report.full_simulations) + "\n\n";
+  if (!report.cache.empty()) {
+    out += "## Trace cache\n\n";
+    out +=
+        "| app | horizon | seed | trace hits | trace misses | hit ratio | "
+        "full hits | full misses |\n|---|---|---|---|---|---|---|---|\n";
+    char cbuf[64];
+    for (const auto& c : report.cache) {
+      std::snprintf(cbuf, sizeof(cbuf), "%.2f", c.trace_hit_ratio());
+      out += "| " + c.app_name + " | " + std::to_string(report.horizon) +
+             " | " + std::to_string(report.seed) + " | " +
+             std::to_string(c.trace_hits) + " | " +
+             std::to_string(c.trace_misses) + " | " + cbuf + " | " +
+             std::to_string(c.full_hits) + " | " +
+             std::to_string(c.full_misses) + " |\n";
+    }
+    out += "\n";
+  }
   out += "## Points\n\n";
   out +=
       "| app | point | buses (req+resp) | savings | avg latency | pareto "

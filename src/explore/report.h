@@ -30,6 +30,27 @@ struct sweep_result {
   bool operator==(const sweep_result&) const = default;
 };
 
+/// Per-application trace-cache activity during one sweep. Deterministic
+/// across worker thread counts: the cache's exactly-once insertion makes
+/// misses = #distinct keys and hits = requests − misses, independent of
+/// scheduling.
+struct app_cache_stats {
+  std::string app_name;
+  std::int64_t trace_hits = 0;
+  std::int64_t trace_misses = 0;
+  std::int64_t full_hits = 0;
+  std::int64_t full_misses = 0;
+
+  double trace_hit_ratio() const {
+    const auto total = trace_hits + trace_misses;
+    return total > 0 ? static_cast<double>(trace_hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+
+  bool operator==(const app_cache_stats&) const = default;
+};
+
 /// Everything one sweep produced, in deterministic order: application-
 /// major (spec order), then grid-expansion order. Identical regardless of
 /// the worker thread count.
@@ -46,6 +67,8 @@ struct sweep_report {
   std::int64_t phase1_simulations = 0;
   /// Full-crossbar reference simulations actually run.
   std::int64_t full_simulations = 0;
+  /// Trace-cache hit/miss activity per application, in spec order.
+  std::vector<app_cache_stats> cache;
 
   bool operator==(const sweep_report&) const = default;
 };

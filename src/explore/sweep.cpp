@@ -5,6 +5,7 @@
 #include <exception>
 #include <thread>
 
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace stx::explore {
@@ -97,31 +98,45 @@ sweep_report run_sweep(const sweep_spec& spec, trace_cache& cache) {
     }
   }
 
+  obs::span sweep_span("explore.sweep",
+                       {{"apps", static_cast<std::int64_t>(num_apps)},
+                        {"jobs", static_cast<std::int64_t>(jobs.size())}});
+  obs::add_counter("explore.points", static_cast<std::int64_t>(jobs.size()));
+
   const auto stats_before = cache.stats();
+  const auto by_app_before = cache.stats_by_app();
   std::vector<sweep_result> results(jobs.size());
   std::vector<std::exception_ptr> errors(jobs.size());
   std::atomic<std::size_t> next{0};
-  const auto worker = [&] {
+  const auto worker = [&](int worker_index) {
+    // One span per worker thread: its duration against the sweep span's
+    // is the worker's utilization, and each claimed job lands as a child
+    // span on the worker's own trace track.
+    obs::span wsp("explore.worker", {{"worker", worker_index}});
+    std::int64_t claimed = 0;
     for (std::size_t k = next.fetch_add(1); k < jobs.size();
          k = next.fetch_add(1)) {
       // k-th claim -> app (k mod A), point (k div A).
       const std::size_t i = (k % num_apps) * num_points + k / num_apps;
+      ++claimed;
       try {
+        obs::span jsp("explore.point", {{"app", jobs[i].app->name}});
         results[i] = evaluate_point(spec, *jobs[i].app, *jobs[i].point, cache);
       } catch (...) {
         errors[i] = std::current_exception();
       }
     }
+    wsp.set_attr({"jobs", claimed});
   };
 
   const int threads = std::min<int>(std::max(spec.threads, 1),
                                     static_cast<int>(jobs.size()));
   if (threads <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
     for (auto& t : pool) t.join();
   }
   // Rethrow the first failure in job order (deterministic, like the
@@ -139,6 +154,30 @@ sweep_report run_sweep(const sweep_spec& spec, trace_cache& cache) {
       stats_after.trace_misses - stats_before.trace_misses;
   report.full_simulations =
       stats_after.full_misses - stats_before.full_misses;
+  // Per-app cache activity for THIS sweep: delta against the pre-sweep
+  // per-app totals, reported in spec order (deterministic; a shared cache
+  // may carry counts from earlier sweeps).
+  const auto by_app_after = cache.stats_by_app();
+  report.cache.reserve(spec.apps.size());
+  for (const auto& app : spec.apps) {
+    trace_cache::cache_stats before;
+    if (const auto it = by_app_before.find(app.name);
+        it != by_app_before.end()) {
+      before = it->second;
+    }
+    trace_cache::cache_stats after;
+    if (const auto it = by_app_after.find(app.name);
+        it != by_app_after.end()) {
+      after = it->second;
+    }
+    app_cache_stats entry;
+    entry.app_name = app.name;
+    entry.trace_hits = after.trace_hits - before.trace_hits;
+    entry.trace_misses = after.trace_misses - before.trace_misses;
+    entry.full_hits = after.full_hits - before.full_hits;
+    entry.full_misses = after.full_misses - before.full_misses;
+    report.cache.push_back(std::move(entry));
+  }
   if (spec.validate) {
     report.pareto = pareto_front(report.results);
   }

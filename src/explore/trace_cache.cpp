@@ -1,5 +1,7 @@
 #include "explore/trace_cache.h"
 
+#include "obs/obs.h"
+
 namespace stx::explore {
 
 trace_cache::key_t trace_cache::make_key(const workloads::app_spec& app,
@@ -10,19 +12,28 @@ trace_cache::key_t trace_cache::make_key(const workloads::app_spec& app,
 
 template <typename T, typename Load>
 std::shared_ptr<const T> trace_cache::get(store_t<T>& store, const key_t& key,
-                                          std::int64_t& hits,
-                                          std::int64_t& misses, Load&& load) {
+                                          const std::string& app_name,
+                                          bool is_trace, Load&& load) {
   std::promise<std::shared_ptr<const T>> promise;
   std::shared_future<std::shared_ptr<const T>> future;
   bool loader = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = store.find(key);
+    auto& per_app = stats_by_app_[app_name];
     if (it != store.end()) {
-      ++hits;
+      ++(is_trace ? stats_.trace_hits : stats_.full_hits);
+      ++(is_trace ? per_app.trace_hits : per_app.full_hits);
+      obs::add_counter(
+          is_trace ? "explore.cache.trace_hits" : "explore.cache.full_hits",
+          1);
       future = it->second;
     } else {
-      ++misses;
+      ++(is_trace ? stats_.trace_misses : stats_.full_misses);
+      ++(is_trace ? per_app.trace_misses : per_app.full_misses);
+      obs::add_counter(is_trace ? "explore.cache.trace_misses"
+                                : "explore.cache.full_misses",
+                       1);
       loader = true;
       future = promise.get_future().share();
       store.emplace(key, future);
@@ -48,21 +59,25 @@ std::shared_ptr<const T> trace_cache::get(store_t<T>& store, const key_t& key,
 
 std::shared_ptr<const xbar::collected_traces> trace_cache::traces(
     const workloads::app_spec& app, const xbar::flow_options& opts) {
-  return get(traces_, make_key(app, opts), stats_.trace_hits,
-             stats_.trace_misses,
+  return get(traces_, make_key(app, opts), app.name, /*is_trace=*/true,
              [&] { return xbar::collect_traces(app, opts); });
 }
 
 std::shared_ptr<const xbar::validation_metrics> trace_cache::full_metrics(
     const workloads::app_spec& app, const xbar::flow_options& opts) {
-  return get(full_, make_key(app, opts), stats_.full_hits,
-             stats_.full_misses,
+  return get(full_, make_key(app, opts), app.name, /*is_trace=*/false,
              [&] { return xbar::validate_full_crossbars(app, opts); });
 }
 
 trace_cache::cache_stats trace_cache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+std::map<std::string, trace_cache::cache_stats> trace_cache::stats_by_app()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_by_app_;
 }
 
 }  // namespace stx::explore

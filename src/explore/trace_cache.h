@@ -46,6 +46,11 @@ class trace_cache {
 
   cache_stats stats() const;
 
+  /// Hit/miss totals aggregated per application name. Exactly-once
+  /// insertion makes these deterministic regardless of worker count:
+  /// misses = #distinct keys requested, hits = requests − misses.
+  std::map<std::string, cache_stats> stats_by_app() const;
+
  private:
   using key_t = std::tuple<std::string, traffic::cycle_t, std::uint64_t,
                            int, traffic::cycle_t>;
@@ -58,15 +63,18 @@ class trace_cache {
 
   /// Exactly-once lookup: returns the cached future's value, running
   /// `load` (outside the lock) when this caller is the first for `key`.
+  /// `is_trace` selects which stats fields (and obs counters) the lookup
+  /// lands in.
   template <typename T, typename Load>
   std::shared_ptr<const T> get(store_t<T>& store, const key_t& key,
-                               std::int64_t& hits, std::int64_t& misses,
+                               const std::string& app_name, bool is_trace,
                                Load&& load);
 
   mutable std::mutex mu_;
   store_t<xbar::collected_traces> traces_;
   store_t<xbar::validation_metrics> full_;
   cache_stats stats_;
+  std::map<std::string, cache_stats> stats_by_app_;
 };
 
 }  // namespace stx::explore

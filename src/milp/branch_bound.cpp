@@ -13,6 +13,7 @@
 #include "lp/revised_simplex.h"
 #include "lp/simplex.h"
 #include "milp/presolve.h"
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace stx::milp {
@@ -279,6 +280,10 @@ class warm_bb_engine {
     res.lp_iterations = lp_iterations_;
     res.warm_solves = warm_solves_;
     res.cold_solves = cold_solves_;
+    res.pseudocost_updates = pseudocost_updates_;
+    res.max_heap_depth = max_heap_depth_;
+    res.dual_pivots = solver_.dual_pivots();
+    res.refactorizations = solver_.factorizations();
     const bool complete = !limit_hit_ && !stop_;
     if (incumbent_.have && (complete || opts_.feasibility_only)) {
       res.best_bound = incumbent_.objective;
@@ -416,6 +421,7 @@ class warm_bb_engine {
       const auto sv = static_cast<std::size_t>(nd->var);
       pc[sv] = (pc[sv] * cnt[sv] + gain) / (cnt[sv] + 1);
       ++cnt[sv];
+      ++pseudocost_updates_;
     }
 
     if (incumbent_.have && !opts_.feasibility_only &&
@@ -505,6 +511,8 @@ class warm_bb_engine {
       child->id = next_id_++;
       open_.push(std::move(child));
     }
+    max_heap_depth_ = std::max(
+        max_heap_depth_, static_cast<std::int64_t>(open_.size()));
   }
 
   static constexpr std::size_t kMaxOpenWithBases = 65'536;
@@ -527,6 +535,8 @@ class warm_bb_engine {
   std::int64_t lp_iterations_ = 0;
   std::int64_t warm_solves_ = 0;
   std::int64_t cold_solves_ = 0;
+  std::int64_t pseudocost_updates_ = 0;
+  std::int64_t max_heap_depth_ = 0;
   incumbent_pool incumbent_;
   double open_bound_ = inf;
   bool limit_hit_ = false;
@@ -543,9 +553,7 @@ bb_result run_engine(const model& m, const bb_options& opts) {
   return engine.run();
 }
 
-}  // namespace
-
-bb_result solve_branch_bound(const model& m, const bb_options& opts) {
+bb_result solve_impl(const model& m, const bb_options& opts) {
   if (!opts.use_presolve) {
     return run_engine(m, opts);
   }
@@ -579,6 +587,32 @@ bb_result solve_branch_bound(const model& m, const bb_options& opts) {
     res.objective = m.relaxation().objective_value(res.x);
     STX_ENSURE(m.is_feasible(res.x, 1e-5),
                "branch & bound produced an infeasible incumbent");
+  }
+  return res;
+}
+
+}  // namespace
+
+bb_result solve_branch_bound(const model& m, const bb_options& opts) {
+  obs::span sp("milp.solve",
+               {{"vars", m.num_variables()},
+                {"engine", opts.warm_start ? "warm" : "cold"}});
+  auto res = solve_impl(m, opts);
+  if (obs::enabled()) {
+    // Flushed post-hoc from the result so the node loop stays clean; all
+    // fields are deterministic for a given model, so the counters stay
+    // bit-identical across runs and thread counts.
+    obs::add_counter("milp.solves", 1);
+    obs::add_counter("milp.nodes", res.nodes);
+    obs::add_counter("milp.lp_iterations", res.lp_iterations);
+    obs::add_counter("milp.warm_solves", res.warm_solves);
+    obs::add_counter("milp.cold_solves", res.cold_solves);
+    obs::add_counter("milp.pseudocost_updates", res.pseudocost_updates);
+    obs::add_counter("lp.dual_pivots", res.dual_pivots);
+    obs::add_counter("lp.refactorizations", res.refactorizations);
+    obs::gauge_max("milp.heap_depth_max", res.max_heap_depth);
+    sp.set_attr({"status", to_string(res.status)});
+    sp.set_attr({"nodes", res.nodes});
   }
   return res;
 }

@@ -73,6 +73,14 @@ struct bb_result {
   /// re-solved from the parent basis vs from scratch.
   std::int64_t warm_solves = 0;
   std::int64_t cold_solves = 0;
+  /// More warm-engine telemetry (zero on the cold path): pseudocost
+  /// estimator refinements, the open-heap high-water mark, and the
+  /// underlying revised-simplex engine's dual-repair pivot and
+  /// refactorization totals.
+  std::int64_t pseudocost_updates = 0;
+  std::int64_t max_heap_depth = 0;
+  std::int64_t dual_pivots = 0;
+  std::int64_t refactorizations = 0;
 };
 
 /// Solves `m` exactly with the engine selected by `opts.warm_start`.

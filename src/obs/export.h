@@ -1,0 +1,47 @@
+// JSON exporters for the obs subsystem: Chrome-trace-event / Perfetto
+// traces and `stx-metrics/v1` registry snapshots.
+//
+// Trace format: the Chrome trace-event JSON object form
+// ({"traceEvents": [...]}) with complete ("ph":"X") events only —
+// load it at https://ui.perfetto.dev or chrome://tracing. Timestamps are
+// microseconds since the obs clock origin; nesting is inferred by the
+// viewer from containment on each thread track, exactly how obs::span
+// nests.
+//
+// Metrics format (`stx-metrics/v1`):
+//   {
+//     "schema": "stx-metrics/v1",
+//     "counters": { name: int, ... },   // deterministic, name-sorted
+//     "gauges":   { name: int, ... },   // deterministic, name-sorted
+//     "wall_nondeterministic": {        // timing: diffs must ignore it
+//       name: {count, total_ms, min_ms, max_ms, mean_ms}, ...
+//     }
+//   }
+// The counters/gauges sections are bit-identical across runs and thread
+// counts for the same work; every wall-clock field lives under the
+// explicitly non-deterministic key.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace stx::obs {
+
+/// Renders `events` as a Chrome-trace-event JSON document.
+std::string render_trace_json(const std::vector<trace_event>& events);
+/// Renders the current global trace buffer.
+std::string render_trace_json();
+
+/// Renders `snap` as an `stx-metrics/v1` document.
+std::string render_metrics_json(const metrics_snapshot& snap);
+/// Renders the current registry contents.
+std::string render_metrics_json();
+
+/// Writes the current trace buffer / registry snapshot to `path`.
+/// Throws stx::invalid_argument_error when the file cannot be written.
+void write_trace_json(const std::string& path);
+void write_metrics_json(const std::string& path);
+
+}  // namespace stx::obs

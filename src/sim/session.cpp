@@ -1,6 +1,24 @@
 #include "sim/session.h"
 
+#include "obs/obs.h"
+
 namespace stx::sim {
+
+namespace {
+
+cycle_t total_busy_cycles(const mpsoc_system& system) {
+  cycle_t busy = 0;
+  const auto add = [&busy](const crossbar& xb) {
+    for (int k = 0; k < xb.num_buses(); ++k) {
+      busy += xb.bus_at(k).busy_cycles();
+    }
+  };
+  add(system.request_crossbar());
+  add(system.response_crossbar());
+  return busy;
+}
+
+}  // namespace
 
 session::session(std::vector<std::vector<core_op>> programs, int num_targets,
                  const system_config& cfg,
@@ -8,8 +26,32 @@ session::session(std::vector<std::vector<core_op>> programs, int num_targets,
     : system_(std::move(programs), num_targets, cfg, std::move(loop_starts)) {}
 
 void session::run(cycle_t horizon) {
+  obs::span sp("sim.run", {{"horizon", static_cast<std::int64_t>(horizon)}});
   system_.run(horizon);
   cached_.reset();
+  if (obs::enabled()) {
+    // The system accumulators are lifetime totals and a session is
+    // resumable, so flush only the delta since the last run() call —
+    // counters then sum correctly across any number of sessions and
+    // resumes.
+    const auto& es = system_.event_stats();
+    const telemetry_marks now_marks{
+        es.events_processed, es.events_skipped, es.cycles_visited,
+        system_.total_transactions(), total_busy_cycles(system_)};
+    obs::add_counter("sim.runs", 1);
+    obs::add_counter("sim.events_processed",
+                     now_marks.events_processed - flushed_.events_processed);
+    obs::add_counter("sim.events_skipped",
+                     now_marks.events_skipped - flushed_.events_skipped);
+    obs::add_counter("sim.cycles_visited",
+                     now_marks.cycles_visited - flushed_.cycles_visited);
+    obs::add_counter("sim.transactions",
+                     now_marks.transactions - flushed_.transactions);
+    obs::add_counter("sim.busy_cycles",
+                     static_cast<std::int64_t>(now_marks.busy_cycles -
+                                               flushed_.busy_cycles));
+    flushed_ = now_marks;
+  }
 }
 
 const run_metrics& session::metrics() const {

@@ -66,8 +66,20 @@ class session {
   const mpsoc_system& system() const { return system_; }
 
  private:
+  /// High-water marks of the system's lifetime accumulators at the last
+  /// obs flush; run() publishes only the delta so resumed sessions do not
+  /// double-count (src/obs counters are process-wide sums).
+  struct telemetry_marks {
+    std::int64_t events_processed = 0;
+    std::int64_t events_skipped = 0;
+    std::int64_t cycles_visited = 0;
+    std::int64_t transactions = 0;
+    cycle_t busy_cycles = 0;
+  };
+
   mpsoc_system system_;
   mutable std::optional<run_metrics> cached_;
+  telemetry_marks flushed_;
 };
 
 /// The metrics harvest itself, exposed for consumers that hold a bare

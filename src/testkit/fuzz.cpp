@@ -1,10 +1,47 @@
 #include "testkit/fuzz.h"
 
 #include <exception>
+#include <string>
+#include <string_view>
 
 #include "gen/json.h"
+#include "obs/obs.h"
 
 namespace stx::testkit {
+
+namespace {
+
+constexpr std::string_view kOraclePrefix = "oracle.";
+constexpr std::string_view kEvalsSuffix = ".evals";
+
+/// Extracts the campaign's per-invariant oracle costs as the delta of
+/// "oracle.<name>.evals" counters and "oracle.<name>" wall accumulators
+/// between two registry snapshots.
+std::vector<invariant_cost> invariant_costs(const obs::metrics_snapshot& before,
+                                            const obs::metrics_snapshot& after) {
+  std::vector<invariant_cost> out;
+  for (const auto& c : after.counters) {
+    if (c.name.rfind(kOraclePrefix, 0) != 0) continue;
+    if (c.name.size() <= kOraclePrefix.size() + kEvalsSuffix.size() ||
+        c.name.compare(c.name.size() - kEvalsSuffix.size(),
+                       kEvalsSuffix.size(), kEvalsSuffix) != 0) {
+      continue;
+    }
+    const std::string base =
+        c.name.substr(0, c.name.size() - kEvalsSuffix.size());
+    invariant_cost cost;
+    cost.invariant = base.substr(kOraclePrefix.size());
+    cost.evaluations = c.value - before.counter(c.name);
+    double wall = 0.0;
+    if (const auto* w = after.find_wall(base)) wall = w->total_seconds;
+    if (const auto* w = before.find_wall(base)) wall -= w->total_seconds;
+    cost.wall_seconds = wall;
+    out.push_back(std::move(cost));
+  }
+  return out;  // counters are name-sorted, so this is too
+}
+
+}  // namespace
 
 std::vector<violation> run_scenario(const scenario& s,
                                     const oracle_options& oopts,
@@ -26,6 +63,9 @@ fuzz_report run_fuzz(const fuzz_options& opts, const fuzz_progress& progress) {
   fuzz_report out;
   out.seed = opts.seed;
   out.runs = opts.runs;
+  obs::span campaign_span("fuzz.campaign", {{"runs", opts.runs}});
+  const auto obs_before = obs::enabled() ? obs::snapshot()
+                                         : obs::metrics_snapshot{};
   const rng master(opts.seed);
   for (int k = 0; k < opts.runs; ++k) {
     // Each run samples from its own child stream, so run k reproduces
@@ -61,6 +101,9 @@ fuzz_report run_fuzz(const fuzz_options& opts, const fuzz_progress& progress) {
     out.failures.push_back(std::move(f));
     if (progress) progress(k, s, true);
   }
+  if (obs::enabled()) {
+    out.invariants = invariant_costs(obs_before, obs::snapshot());
+  }
   return out;
 }
 
@@ -92,13 +135,24 @@ std::string render_json(const fuzz_report& report) {
          "xbar-fuzz --scenario='" + encode(f.shrunk) + "'"},
     });
   }
+  gen::json::array invariants;
+  for (const auto& c : report.invariants) {
+    invariants.push_back(gen::json::object{
+        {"invariant", c.invariant},
+        {"evaluations", c.evaluations},
+        // Wall time is the one non-deterministic field in this report;
+        // the name says so, matching stx-metrics/v1's convention.
+        {"wall_ms_nondeterministic", c.wall_seconds * 1e3},
+    });
+  }
   const gen::json::value doc = gen::json::object{
-      {"schema", "stx-fuzz-report/v1"},
+      {"schema", "stx-fuzz-report/v2"},
       {"seed", static_cast<std::int64_t>(report.seed)},
       {"runs", report.runs},
       {"failures", std::move(failures)},
       {"total_packets", report.total_packets},
       {"total_buses_designed", report.total_buses_designed},
+      {"invariants", std::move(invariants)},
   };
   return gen::json::dump(doc);
 }

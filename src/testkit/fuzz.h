@@ -30,6 +30,15 @@ struct fuzz_failure {
   int shrink_attempts = 0;
 };
 
+/// Telemetry of one oracle invariant across a campaign, from the obs
+/// registry. `evaluations` is deterministic; `wall_seconds` is timing and
+/// therefore not (diffs must ignore it).
+struct invariant_cost {
+  std::string invariant;
+  std::int64_t evaluations = 0;
+  double wall_seconds = 0.0;
+};
+
 struct fuzz_report {
   std::uint64_t seed = 0;
   int runs = 0;
@@ -37,6 +46,10 @@ struct fuzz_report {
   /// Aggregate work done, for the campaign summary line.
   std::int64_t total_packets = 0;
   std::int64_t total_buses_designed = 0;
+  /// Per-invariant oracle cost, name-sorted. Populated only when
+  /// obs::enabled() during the campaign; empty (and rendered with zero
+  /// counts) otherwise.
+  std::vector<invariant_cost> invariants;
 
   bool ok() const { return failures.empty(); }
 };
@@ -59,10 +72,11 @@ using fuzz_progress = std::function<void(int, const scenario&, bool)>;
 fuzz_report run_fuzz(const fuzz_options& opts,
                      const fuzz_progress& progress = nullptr);
 
-/// Machine-readable campaign report (schema "stx-fuzz-report/v1"): the
-/// options, every failure with its encoded scenario strings and a ready
-/// `xbar-fuzz --scenario=...` reproduction command. Parses back with
-/// gen::json::parse.
+/// Machine-readable campaign report (schema "stx-fuzz-report/v2"): the
+/// options, every failure with its encoded scenario strings, a ready
+/// `xbar-fuzz --scenario=...` reproduction command, and per-invariant
+/// oracle costs ("invariants": evaluation counts are deterministic, the
+/// wall_ms field is explicitly not). Parses back with gen::json::parse.
 std::string render_json(const fuzz_report& report);
 
 }  // namespace stx::testkit

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/obs.h"
 #include "util/error.h"
 #include "xbar/synthesis.h"
 
@@ -14,6 +15,18 @@ void add(std::vector<violation>* out, const std::string& invariant,
          const std::string& detail) {
   out->push_back({invariant, detail});
 }
+
+/// Per-invariant telemetry: one evaluation counter bump plus a span whose
+/// wall time accumulates under the same "oracle.<name>" key, so fuzz
+/// campaign reports can show which oracles dominate the run time.
+struct check_scope {
+  explicit check_scope(const char* name) : span_(name) {
+    if (obs::enabled()) {
+      obs::add_counter(std::string(name) + ".evals", 1);
+    }
+  }
+  obs::span span_;
+};
 
 struct direction_view {
   const char* label;
@@ -46,6 +59,7 @@ std::string to_string(const std::vector<violation>& v) {
 void check_shape(const workloads::app_spec& app,
                  const xbar::flow_report& report,
                  std::vector<violation>* out) {
+  check_scope scope("oracle.shape");
   if (report.num_initiators != app.num_initiators ||
       report.num_targets != app.num_targets) {
     add(out, "shape",
@@ -97,6 +111,7 @@ void check_shape(const workloads::app_spec& app,
 
 void check_coverage(const xbar::flow_report& report,
                     std::vector<violation>* out) {
+  check_scope scope("oracle.coverage");
   for (const auto& d : directions(report)) {
     const auto& binding = d.design->binding;
     const int buses = d.design->num_buses;
@@ -139,6 +154,7 @@ void check_coverage(const xbar::flow_report& report,
 void check_bus_bounds(const workloads::app_spec& app,
                       const xbar::flow_report& report,
                       std::vector<violation>* out) {
+  check_scope scope("oracle.bus-bound");
   for (const auto& d : directions(report)) {
     if (d.design->num_buses < 1 ||
         d.design->num_buses > d.num_receivers) {
@@ -172,6 +188,7 @@ void check_bus_bounds(const workloads::app_spec& app,
 void check_latency(const xbar::flow_report& report,
                    const oracle_options& opts,
                    std::vector<violation>* out) {
+  check_scope scope("oracle.latency");
   const auto& dm = report.designed;
   const auto& fm = report.full;
   if (fm.packets > 0 && dm.packets == 0) {
@@ -203,6 +220,7 @@ void check_latency(const xbar::flow_report& report,
 
 void check_metrics(const xbar::flow_report& report,
                    std::vector<violation>* out) {
+  check_scope scope("oracle.metrics");
   const struct {
     const char* label;
     const xbar::validation_metrics* m;
@@ -242,6 +260,7 @@ void check_feasibility(const xbar::collected_traces& traces,
                        const xbar::flow_options& opts,
                        const xbar::flow_report& report,
                        std::vector<violation>* out) {
+  check_scope scope("oracle.feasibility");
   const struct {
     const char* label;
     const traffic::trace* trace;
@@ -292,6 +311,7 @@ void check_solver_agreement(const xbar::collected_traces& traces,
                             const xbar::flow_report& report,
                             const oracle_options& oopts,
                             std::vector<violation>* out) {
+  check_scope scope("oracle.solver-agreement");
   if (!oopts.solver_agreement) return;
   const struct {
     const char* label;

@@ -1,6 +1,9 @@
 #include "xbar/flow.h"
 
+#include <optional>
+
 #include "gen/registry.h"
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace stx::xbar {
@@ -64,6 +67,7 @@ design_params effective_synthesis_params(const flow_options& opts,
 
 collected_traces collect_traces(const workloads::app_spec& app,
                                 const flow_options& opts) {
+  obs::span sp("flow.collect", {{"app", app.name}});
   auto session = workloads::make_full_crossbar_session(
       app, base_system_config(opts, /*record_traces=*/true));
   session.run(opts.horizon);
@@ -115,11 +119,22 @@ flow_report design_from_traces(const workloads::app_spec& app,
   req_opts.params = effective_synthesis_params(opts, /*request=*/true);
   synthesis_options resp_opts = opts.synth;
   resp_opts.params = effective_synthesis_params(opts, /*request=*/false);
-  report.request_design = synthesize_from_trace(traces.request, req_opts);
-  report.response_design = synthesize_from_trace(traces.response, resp_opts);
+  std::optional<synthesis_input> req_input;
+  std::optional<synthesis_input> resp_input;
+  {
+    obs::span sp("flow.analyze", {{"app", app.name}});
+    req_input = input_from_trace(traces.request, req_opts.params);
+    resp_input = input_from_trace(traces.response, resp_opts.params);
+  }
+  {
+    obs::span sp("flow.synthesize", {{"app", app.name}});
+    report.request_design = synthesize(*req_input, req_opts);
+    report.response_design = synthesize(*resp_input, resp_opts);
+  }
 
   // ---- Phase 4: validation simulations.
   if (validate) {
+    obs::span sp("flow.validate", {{"app", app.name}});
     const auto req_cfg = report.request_design.to_config(
         opts.policy, opts.transfer_overhead);
     const auto resp_cfg = report.response_design.to_config(
@@ -145,7 +160,11 @@ flow_report run_design_flow(const workloads::app_spec& app,
 
 std::vector<gen::artifact> generate_artifacts(
     const flow_report& report, const gen::generate_options& opts) {
-  return gen::registry::instance().generate(report, opts);
+  obs::span sp("flow.generate", {{"app", report.app_name}});
+  auto artifacts = gen::registry::instance().generate(report, opts);
+  obs::add_counter("gen.artifacts",
+                   static_cast<std::int64_t>(artifacts.size()));
+  return artifacts;
 }
 
 }  // namespace stx::xbar

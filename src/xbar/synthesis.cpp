@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/obs.h"
 #include "traffic/variable_windows.h"
 #include "traffic/windows.h"
 #include "util/error.h"
@@ -55,7 +56,8 @@ bool probe_feasible(const synthesis_input& input, int num_buses,
 }  // namespace
 
 int min_feasible_buses(const synthesis_input& input,
-                       const synthesis_options& opts, int* probes) {
+                       const synthesis_options& opts, int* probes,
+                       std::int64_t* probe_nodes) {
   int lo = lower_bound_buses(input);
   int hi = input.num_targets();
   STX_ENSURE(lo <= hi, "bus lower bound above target count");
@@ -67,7 +69,7 @@ int min_feasible_buses(const synthesis_input& input,
   while (lo < hi) {
     const int mid = lo + (hi - lo) / 2;
     ++count;
-    if (probe_feasible(input, mid, opts, nullptr)) {
+    if (probe_feasible(input, mid, opts, probe_nodes)) {
       hi = mid;
     } else {
       lo = mid + 1;
@@ -79,12 +81,21 @@ int min_feasible_buses(const synthesis_input& input,
 
 crossbar_design synthesize(const synthesis_input& input,
                            const synthesis_options& opts) {
+  obs::span sp("xbar.synthesize",
+               {{"targets", input.num_targets()},
+                {"solver", opts.solver == solver_kind::specialized
+                               ? "specialized"
+                               : "generic_milp"}});
   crossbar_design out;
   out.num_targets = input.num_targets();
   out.params = input.params();
   out.num_conflicts = input.num_conflicts();
 
-  out.num_buses = min_feasible_buses(input, opts, &out.probes);
+  {
+    obs::span probe_sp("xbar.size_search");
+    out.num_buses =
+        min_feasible_buses(input, opts, &out.probes, &out.feasibility_nodes);
+  }
 
   if (opts.solver == solver_kind::specialized) {
     if (opts.optimize_binding) {
@@ -132,6 +143,12 @@ crossbar_design synthesize(const synthesis_input& input,
 
   STX_ENSURE(input.binding_feasible(out.binding, out.num_buses),
              "synthesised binding violates the model");
+  obs::add_counter("xbar.synth.runs", 1);
+  obs::add_counter("xbar.synth.probes", out.probes);
+  obs::add_counter("xbar.synth.feasibility_nodes", out.feasibility_nodes);
+  obs::add_counter("xbar.synth.binding_nodes", out.binding_nodes);
+  obs::add_counter("xbar.synth.buses", out.num_buses);
+  sp.set_attr({"buses", out.num_buses});
   return out;
 }
 

@@ -72,7 +72,8 @@ struct crossbar_design {
 /// the new bus empty), so binary search is exact; a property test checks
 /// this against a linear scan.
 int min_feasible_buses(const synthesis_input& input,
-                       const synthesis_options& opts, int* probes = nullptr);
+                       const synthesis_options& opts, int* probes = nullptr,
+                       std::int64_t* probe_nodes = nullptr);
 
 /// Full synthesis from a pre-processed input: size the crossbar, then
 /// bind targets minimising the maximum per-bus overlap.

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "gen/json.h"
+#include "obs/obs.h"
 
 namespace stx::testkit {
 namespace {
@@ -72,6 +73,32 @@ TEST(Fuzz, BrutalOracleProducesShrunkFailures) {
   EXPECT_EQ(decode(encode(f.shrunk)), f.shrunk);
 }
 
+TEST(Fuzz, InvariantCostsPopulateWhenTelemetryIsOn) {
+  obs::disable();
+  obs::reset();
+  // Without telemetry the v2 invariants section stays empty...
+  EXPECT_TRUE(run_fuzz(small_campaign()).invariants.empty());
+  // ...and with it, every enabled oracle check reports one row with an
+  // evaluation count covering each of the campaign's runs.
+  obs::enable();
+  const auto r = run_fuzz(small_campaign());
+  obs::disable();
+  obs::reset();
+  ASSERT_FALSE(r.invariants.empty());
+  bool saw_shape = false;
+  for (const auto& cost : r.invariants) {
+    EXPECT_GE(cost.evaluations, r.runs) << cost.invariant;
+    EXPECT_GE(cost.wall_seconds, 0.0) << cost.invariant;
+    saw_shape |= cost.invariant == "shape";
+  }
+  EXPECT_TRUE(saw_shape);
+  const auto doc = gen::json::parse(render_json(r));
+  const auto& rows = doc.at("invariants").as_array();
+  EXPECT_EQ(rows.size(), r.invariants.size());
+  EXPECT_TRUE(rows[0].contains("evaluations"));
+  EXPECT_TRUE(rows[0].contains("wall_ms_nondeterministic"));
+}
+
 TEST(Fuzz, RenderJsonParsesBackWithFailures) {
   fuzz_options opts;
   opts.runs = 1;
@@ -83,7 +110,7 @@ TEST(Fuzz, RenderJsonParsesBackWithFailures) {
   const auto r = run_fuzz(opts);
   ASSERT_FALSE(r.ok());
   const auto doc = gen::json::parse(render_json(r));
-  EXPECT_EQ(doc.at("schema").as_string(), "stx-fuzz-report/v1");
+  EXPECT_EQ(doc.at("schema").as_string(), "stx-fuzz-report/v2");
   EXPECT_EQ(doc.at("runs").as_int(), 1);
   const auto& failures = doc.at("failures").as_array();
   ASSERT_EQ(failures.size(), 1u);
