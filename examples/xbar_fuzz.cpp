@@ -15,10 +15,12 @@
 // Exit codes: 0 all invariants held, 1 violations found, 2 bad usage.
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cli_common.h"
+#include "explore/disk_store.h"
 #include "gen/artifact.h"
 #include "testkit/fuzz.h"
 #include "testkit/golden.h"
@@ -43,6 +45,8 @@ void print_usage(std::FILE* to) {
       "  --latency-slack=F   oracle degradation bound slack cycles (50)\n"
       "  --solver-check=BOOL cross-check bus counts against the generic\n"
       "                      MILP solver (true)\n"
+      "  --cache-dir=DIR     persistent phase-1 trace store shared with\n"
+      "                      xbargen / xbar-sweep / xbar-serve\n"
       "  --trace-out=FILE    write a Chrome/Perfetto trace of the run\n"
       "  --metrics-out=FILE  write an stx-metrics/v1 counter snapshot\n");
 }
@@ -51,7 +55,21 @@ const std::vector<std::string> kKnownFlags = {
     "runs",           "seed",          "shrink",       "json",
     "scenario",       "regen-goldens", "latency-factor",
     "latency-slack",  "solver-check",  "help",
-    "trace-out",      "metrics-out",
+    "cache-dir",      "trace-out",     "metrics-out",
+};
+
+/// The optional persistent phase-1 cache behind --cache-dir; (nullptr
+/// members) when the flag is absent.
+struct fuzz_cache {
+  std::shared_ptr<explore::kv_store> store;
+  std::unique_ptr<explore::trace_cache> cache;
+
+  explicit fuzz_cache(const flag_set& flags) {
+    const auto dir = flags.get_string("cache-dir", "");
+    if (dir.empty()) return;
+    store = std::make_shared<explore::disk_store>(dir);
+    cache = std::make_unique<explore::trace_cache>(store);
+  }
 };
 
 testkit::oracle_options oracle_options_from(const flag_set& flags) {
@@ -73,8 +91,9 @@ void print_violations(const std::vector<testkit::violation>& vs) {
 int run_one_scenario(const flag_set& flags) {
   const auto s = testkit::decode(flags.get_string("scenario", ""));
   std::printf("scenario : %s\n", testkit::encode(s).c_str());
-  const auto violations =
-      testkit::run_scenario(s, oracle_options_from(flags));
+  const fuzz_cache fc(flags);
+  const auto violations = testkit::run_scenario(
+      s, oracle_options_from(flags), nullptr, fc.cache.get());
   if (violations.empty()) {
     std::printf("verdict  : all oracle invariants held\n");
     return 0;
@@ -125,6 +144,8 @@ int run_campaign(const flag_set& flags) {
     std::fprintf(stderr, "xbar-fuzz: --runs must be positive\n");
     return 2;
   }
+  const fuzz_cache fc(flags);
+  opts.cache = fc.cache.get();
 
   // Campaign mode always collects the metrics registry so the v2 report
   // can break oracle cost down per invariant (the --trace-out /
@@ -163,6 +184,15 @@ int run_campaign(const flag_set& flags) {
     }
     out << testkit::render_json(report);
     std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (fc.cache != nullptr) {
+    const auto cs = fc.cache->stats();
+    std::printf("persistent cache: %lld of %lld phase-1 collection(s) "
+                "served from the store\n",
+                static_cast<long long>(cs.trace_store_hits),
+                static_cast<long long>(cs.trace_store_hits +
+                                       cs.trace_misses));
   }
 
   std::printf(

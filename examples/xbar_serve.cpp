@@ -1,0 +1,115 @@
+// xbar-serve — the long-running design service daemon.
+//
+// Serve design requests over a local socket until a client sends the
+// "shutdown" op:
+//   $ ./xbar-serve --socket=/tmp/xbar.sock --workers=4 \
+//                  --cache-dir=/var/cache/stxbar
+//
+// One-shot client mode (send REQUEST, print the response line):
+//   $ ./xbar-serve --socket=/tmp/xbar.sock \
+//       --client='{"op":"design","app":"mat2","horizon":20000}'
+//
+// The protocol is line-delimited JSON (see src/serve/protocol.h): ops
+// design / ping / metrics / trace / shutdown. With --cache-dir, results
+// are shared with every other binary pointed at the same directory
+// (xbargen, xbar-sweep, xbar-fuzz): a design any of them computed is a
+// warm hit here and vice versa.
+//
+// Exit codes: 0 clean shutdown (daemon) or ok:true response (client),
+// 1 runtime/protocol failure, 2 bad usage.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gen/json.h"
+#include "obs/obs.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "util/error.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace stx;
+
+void print_usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: xbar-serve --socket=PATH [options]\n"
+      "  --socket=PATH     unix socket to listen on (or connect to,\n"
+      "                    with --client); default ./xbar-serve.sock\n"
+      "  --workers=N       design worker threads (2)\n"
+      "  --queue=N         admission queue depth (64)\n"
+      "  --cache-dir=DIR   persistent result store shared with the\n"
+      "                    other CLIs (default: in-memory only)\n"
+      "  --client=REQUEST  send one JSON request line and print the\n"
+      "                    response instead of serving\n");
+}
+
+const std::vector<std::string> kKnownFlags = {
+    "socket", "workers", "queue", "cache-dir", "client", "help",
+};
+
+int run_client(const std::string& socket_path, const std::string& line) {
+  const auto resp = serve::request_line(socket_path, line);
+  std::printf("%s\n", resp.c_str());
+  const auto doc = gen::json::parse(resp);
+  return doc.at("ok").as_bool() ? 0 : 1;
+}
+
+int run_daemon(const flag_set& flags, const std::string& socket_path) {
+  serve::service::options sopts;
+  sopts.workers = static_cast<int>(flags.get_int("workers", 2));
+  sopts.queue_depth = static_cast<int>(flags.get_int("queue", 64));
+  sopts.cache_dir = flags.get_string("cache-dir", "");
+
+  // The daemon always collects counters: the "metrics" op is the
+  // service's health surface (cache hit/miss rates, queue rejections).
+  obs::reset();
+  obs::enable();
+
+  serve::service svc(sopts);
+  serve::server srv(svc, socket_path);
+  srv.start();
+  std::printf("xbar-serve: listening on %s (%d workers, queue %d%s%s)\n",
+              srv.socket_path().c_str(), sopts.workers, sopts.queue_depth,
+              sopts.cache_dir.empty() ? "" : ", cache ",
+              sopts.cache_dir.c_str());
+  std::fflush(stdout);
+  srv.wait();
+  srv.stop();
+  const auto st = svc.stats();
+  std::printf(
+      "xbar-serve: shutdown after %lld requests "
+      "(%lld store hits, %lld coalesced, %lld rejected, %lld errors)\n",
+      static_cast<long long>(st.submitted),
+      static_cast<long long>(st.store_hits),
+      static_cast<long long>(st.coalesced),
+      static_cast<long long>(st.rejected),
+      static_cast<long long>(st.errors));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const flag_set flags(argc, argv);
+  if (flags.has("help")) {
+    print_usage(stdout);
+    return 0;
+  }
+  if (report_unknown_flags(flags, kKnownFlags, "xbar-serve") > 0) {
+    print_usage(stderr);
+    return 2;
+  }
+  const auto socket_path = flags.get_string("socket", "./xbar-serve.sock");
+  try {
+    if (flags.has("client")) {
+      return run_client(socket_path, flags.get_string("client", ""));
+    }
+    return run_daemon(flags, socket_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "xbar-serve: %s\n", e.what());
+    return 1;
+  }
+}

@@ -15,9 +15,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
 
 #include "cli_common.h"
+#include "explore/disk_store.h"
 #include "explore/sweep.h"
 #include "gen/artifact.h"
 #include "util/error.h"
@@ -49,6 +51,8 @@ void print_usage(std::FILE* to) {
       "  --solver-time-ms=N  solver wall-clock budget per solve in "
       "milliseconds (>= 0, 0 = unlimited; default 60000)\n"
       "  --validate=BOOL     per-point validation simulation (true)\n"
+      "  --cache-dir=DIR     persistent phase-1 result store shared with\n"
+      "                      xbargen / xbar-fuzz / xbar-serve\n"
       "  --out-dir=DIR       write <basename>.json/.csv/.md artifacts\n"
       "  --basename=NAME     artifact filename stem (sweep)\n"
       "  --compare-serial    also time the equivalent per-point "
@@ -61,7 +65,7 @@ const std::vector<std::string> kKnownFlags = {
     "app",      "grid",     "threads",  "horizon",        "seed",
     "solver-node-limit",    "solver-time-ms",
     "validate", "out-dir",  "basename", "compare-serial", "help",
-    "trace-out", "metrics-out",
+    "cache-dir", "trace-out", "metrics-out",
 };
 
 /// Solver budget flags; malformed/out-of-range values exit 2 with usage.
@@ -167,8 +171,18 @@ int main(int argc, char** argv) {
     std::printf("sweeping %zu point(s) x %zu app(s) on %d thread(s)\n",
                 points.size(), spec.apps.size(), spec.threads);
 
+    // With --cache-dir the phase-1 cache is backed by the persistent
+    // store: a re-run (or any other CLI on the same directory) serves
+    // traces and references without re-simulating.
+    std::shared_ptr<explore::kv_store> store;
+    const auto cache_dir = flags.get_string("cache-dir", "");
+    if (!cache_dir.empty()) {
+      store = std::make_shared<explore::disk_store>(cache_dir);
+    }
+    explore::trace_cache cache(store);
+
     const auto t0 = std::chrono::steady_clock::now();
-    const auto report = explore::run_sweep(spec);
+    const auto report = explore::run_sweep(spec, cache);
     const double sweep_sec = seconds_since(t0);
 
     std::printf("%s", explore::render_markdown(report).c_str());
@@ -177,6 +191,14 @@ int main(int argc, char** argv) {
                 sweep_sec, static_cast<long long>(report.phase1_simulations),
                 static_cast<long long>(report.full_simulations),
                 report.results.size());
+    if (store != nullptr) {
+      const auto cs = cache.stats();
+      std::printf("persistent cache: %lld trace + %lld reference load(s) "
+                  "served from %s\n",
+                  static_cast<long long>(cs.trace_store_hits),
+                  static_cast<long long>(cs.full_store_hits),
+                  cache_dir.c_str());
+    }
 
     if (flags.has("compare-serial")) {
       // The fair baseline does exactly what the sweep does per point —
@@ -187,8 +209,9 @@ int main(int argc, char** argv) {
         for (const auto& p : points) {
           const auto opts = explore::options_for(spec, p);
           const auto traces = xbar::collect_traces(app, opts);
-          (void)xbar::design_from_traces(app, traces, opts,
-                                         /*full=*/nullptr, spec.validate);
+          xbar::flow_stage_inputs stages;
+          if (!spec.validate) stages.mode = xbar::validation_mode::skip;
+          (void)xbar::design_from_traces(app, traces, opts, stages);
         }
       }
       const double serial_sec = seconds_since(t1);

@@ -15,6 +15,7 @@
 // usage (unknown flag, unknown app, malformed --emit list).
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,8 +23,10 @@
 #include "util/error.h"
 
 #include "cli_common.h"
+#include "explore/disk_store.h"
 #include "explore/sweep.h"
 #include "gen/registry.h"
+#include "serve/service.h"
 #include "util/flags.h"
 #include "util/strings.h"
 #include "workloads/mpsoc_apps.h"
@@ -56,6 +59,10 @@ void print_usage(std::FILE* to) {
       "  --solver-time-ms=N  solver wall-clock budget per solve in "
       "milliseconds (>= 0, 0 = unlimited; default 60000)\n"
       "  --horizon=N         simulation cycles (120000)\n"
+      "  --cache-dir=DIR     persistent result store: a design already\n"
+      "                      computed under DIR (by any CLI or the\n"
+      "                      xbar-serve daemon) is reused without\n"
+      "                      re-running simulation or the solver\n"
       "  --grid KEY=V1,...   sweep an axis instead of one design point "
       "(repeatable;\n"
       "                      keys: win thr maxtb burstwin policy solver "
@@ -75,7 +82,7 @@ const std::vector<std::string> kKnownFlags = {
     "window",   "threshold", "maxtb",      "conflicts", "critical",
     "solver",   "solver-node-limit", "solver-time-ms",
     "horizon",  "grid",     "threads",    "help",
-    "trace-out", "metrics-out",
+    "cache-dir", "trace-out", "metrics-out",
 };
 
 /// Solver budget flags; malformed/out-of-range values exit 2 with usage.
@@ -192,7 +199,13 @@ int run_grid_sweep(const flag_set& flags) {
   spec.threads = static_cast<int>(
       flags.get_int("threads", hw == 0 ? 1 : hw));
 
-  const auto report = explore::run_sweep(spec);
+  std::shared_ptr<explore::kv_store> store;
+  const auto cache_dir = flags.get_string("cache-dir", "");
+  if (!cache_dir.empty()) {
+    store = std::make_shared<explore::disk_store>(cache_dir);
+  }
+  explore::trace_cache cache(store);
+  const auto report = explore::run_sweep(spec, cache);
   std::printf("%s", explore::render_markdown(report).c_str());
 
   const auto out_dir = flags.get_string("out-dir", "");
@@ -254,9 +267,32 @@ int design_from_app(const flag_set& flags) {
     return 0;
   }
 
-  const auto report = xbar::run_design_flow(app, opts);
+  // --cache-dir: the staged, store-backed flow shared with the xbar-serve
+  // daemon and the other CLIs. The cache identity is the CLI app name, so
+  // a design any of them computed under the same directory is a warm hit
+  // here: the whole report is decoded from the store and neither the
+  // simulator nor the solver runs.
+  const auto cache_dir = flags.get_string("cache-dir", "");
+  xbar::flow_report report;
+  bool from_store = false;
+  if (!cache_dir.empty()) {
+    const auto store = std::make_shared<explore::disk_store>(cache_dir);
+    explore::trace_cache cache(store);
+    auto result =
+        serve::cached_design(app, flags.get_string("app", "mat2"), opts,
+                             /*validate=*/true, cache, store.get());
+    report = std::move(result.report);
+    from_store = result.from_store;
+  } else {
+    report = xbar::run_design_flow(app, opts);
+  }
   std::printf("application : %s (%d cores)\n", report.app_name.c_str(),
               app.total_cores());
+  if (!cache_dir.empty()) {
+    std::printf("cache       : %s (%s)\n",
+                from_store ? "hit — reused stored design" : "miss — computed",
+                cache_dir.c_str());
+  }
   std::printf("request     : %s\n",
               report.request_design.to_string().c_str());
   std::printf("response    : %s\n",

@@ -1,0 +1,161 @@
+#include "explore/disk_store.h"
+
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "obs/obs.h"
+#include "util/error.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace stx::explore {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kMagic = "stxstore/v1";
+
+std::uint64_t process_id() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<std::uint64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+/// Reads the whole file; nullopt when it does not exist or cannot be
+/// read (both are plain misses at this layer).
+std::optional<std::string> slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return std::move(buf).str();
+}
+
+/// Parses the envelope; nullopt on any integrity failure.
+std::optional<std::string> extract_payload(const std::string& file,
+                                           const std::string& key_line) {
+  // Header: three lines plus the blank separator, each ended by '\n'.
+  std::size_t pos = 0;
+  const auto next_line = [&](std::string& out) {
+    const auto nl = file.find('\n', pos);
+    if (nl == std::string::npos) return false;
+    out = file.substr(pos, nl - pos);
+    pos = nl + 1;
+    return true;
+  };
+  std::string magic, key_field, bytes_field, blank;
+  if (!next_line(magic) || magic != kMagic) return std::nullopt;
+  if (!next_line(key_field) || key_field.rfind("key=", 0) != 0) {
+    return std::nullopt;
+  }
+  if (key_field.substr(4) != key_line) return std::nullopt;
+  if (!next_line(bytes_field) || bytes_field.rfind("bytes=", 0) != 0) {
+    return std::nullopt;
+  }
+  std::size_t declared = 0;
+  try {
+    declared = static_cast<std::size_t>(std::stoull(bytes_field.substr(6)));
+  } catch (...) {
+    return std::nullopt;
+  }
+  if (!next_line(blank) || !blank.empty()) return std::nullopt;
+  if (file.size() - pos != declared) return std::nullopt;
+  return file.substr(pos);
+}
+
+}  // namespace
+
+disk_store::disk_store(const std::string& dir) : root_(dir) {
+  STX_REQUIRE(!dir.empty(), "disk_store: empty cache directory");
+  std::error_code ec;
+  fs::create_directories(root_ / "objects", ec);
+  STX_REQUIRE(!ec, "disk_store: cannot create " +
+                       (root_ / "objects").string() + ": " + ec.message());
+  fs::create_directories(root_ / "tmp", ec);
+  STX_REQUIRE(!ec, "disk_store: cannot create " + (root_ / "tmp").string() +
+                       ": " + ec.message());
+}
+
+fs::path disk_store::object_path(const cache_key& key) const {
+  return root_ / "objects" / (hash_hex(key) + ".stx");
+}
+
+std::optional<std::string> disk_store::get(const cache_key& key) {
+  const auto file = slurp(object_path(key));
+  if (!file.has_value()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    obs::add_counter("store.disk.misses", 1);
+    return std::nullopt;
+  }
+  auto payload = extract_payload(*file, encode(key));
+  if (!payload.has_value()) {
+    // Truncated / garbage / hash-collision entry: a miss, never an
+    // error. The next put overwrites it with a complete object.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    ++stats_.corrupt;
+    obs::add_counter("store.disk.misses", 1);
+    obs::add_counter("store.disk.corrupt", 1);
+    return std::nullopt;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hits;
+  }
+  obs::add_counter("store.disk.hits", 1);
+  return payload;
+}
+
+void disk_store::put(const cache_key& key, std::string_view value) {
+  const auto key_line = encode(key);
+  // Stage the complete envelope under tmp/ with a per-process unique
+  // name, then rename into place: readers see the old object or the new
+  // one, never a prefix.
+  const auto tmp =
+      root_ / "tmp" /
+      (hash_hex(key) + "." + std::to_string(process_id()) + "." +
+       std::to_string(tmp_seq_.fetch_add(1)));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    STX_REQUIRE(out.good(), "disk_store: cannot write " + tmp.string());
+    out << kMagic << '\n'
+        << "key=" << key_line << '\n'
+        << "bytes=" << value.size() << '\n'
+        << '\n';
+    out.write(value.data(), static_cast<std::streamsize>(value.size()));
+    out.flush();
+    STX_REQUIRE(out.good(), "disk_store: write failed for " + tmp.string());
+  }
+  std::error_code ec;
+  fs::rename(tmp, object_path(key), ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw invalid_argument_error("disk_store: cannot publish " +
+                                 object_path(key).string());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.puts;
+  }
+  obs::add_counter("store.disk.puts", 1);
+}
+
+bool disk_store::contains(const cache_key& key) {
+  const auto file = slurp(object_path(key));
+  return file.has_value() && extract_payload(*file, encode(key)).has_value();
+}
+
+kv_store::kv_stats disk_store::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace stx::explore

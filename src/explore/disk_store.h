@@ -1,0 +1,61 @@
+// Persistent content-addressed result store: the kv_store that survives
+// the process. Traces, full-crossbar references and whole flow reports
+// land here keyed by their canonical stxkey/v1 line, shared by xbargen,
+// xbar-sweep, xbar-fuzz and the xbar-serve daemon pointed at the same
+// cache directory.
+//
+// On-disk layout (all under the cache directory):
+//   objects/<16-hex fnv1a of the key line>.stx   one entry per key
+//   tmp/                                          atomic-write staging
+//
+// Entry format — a self-describing envelope so integrity is checkable
+// without any external index:
+//   stxstore/v1\n
+//   key=<stxkey/v1 line>\n
+//   bytes=<payload size>\n
+//   \n
+//   <payload bytes>
+//
+// Guarantees:
+//  * Atomic writes: entries are staged in tmp/ and renamed into place,
+//    so readers never observe a half-written object (POSIX rename).
+//  * Corruption tolerance: a truncated, garbage, or wrong-key (hash
+//    collision) object is treated as a miss and counted in
+//    stats().corrupt; the next put simply overwrites it. Never a crash,
+//    never a wrong answer.
+//  * Concurrency: safe across threads and across processes (last
+//    complete writer wins; both write identical bytes for the same key
+//    by construction — results are deterministic in the key).
+#pragma once
+
+#include <atomic>
+#include <filesystem>
+#include <mutex>
+
+#include "explore/kv_store.h"
+
+namespace stx::explore {
+
+class disk_store final : public kv_store {
+ public:
+  /// Opens (creating if needed) the store rooted at `dir`. Throws
+  /// stx::invalid_argument_error when the directories cannot be created.
+  explicit disk_store(const std::string& dir);
+
+  std::optional<std::string> get(const cache_key& key) override;
+  void put(const cache_key& key, std::string_view value) override;
+  bool contains(const cache_key& key) override;
+  kv_stats stats() const override;
+
+  const std::filesystem::path& root() const { return root_; }
+
+ private:
+  std::filesystem::path object_path(const cache_key& key) const;
+
+  std::filesystem::path root_;
+  std::atomic<std::uint64_t> tmp_seq_{0};
+  mutable std::mutex mu_;  ///< guards stats_ only; file ops are lock-free
+  kv_stats stats_;
+};
+
+}  // namespace stx::explore

@@ -1,0 +1,37 @@
+#include "explore/kv_store.h"
+
+#include "obs/obs.h"
+
+namespace stx::explore {
+
+std::optional<std::string> memory_store::get(const cache_key& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(encode(key));
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    obs::add_counter("store.mem.misses", 1);
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  obs::add_counter("store.mem.hits", 1);
+  return it->second;
+}
+
+void memory_store::put(const cache_key& key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[encode(key)] = std::string(value);
+  ++stats_.puts;
+  obs::add_counter("store.mem.puts", 1);
+}
+
+bool memory_store::contains(const cache_key& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.find(encode(key)) != entries_.end();
+}
+
+kv_store::kv_stats memory_store::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace stx::explore

@@ -53,14 +53,13 @@ sweep_result evaluate_point(const sweep_spec& spec,
   result.app_name = app.name;
   result.point = point;
   result.validated = spec.validate;
+  xbar::flow_stage_inputs stages;
   if (spec.validate) {
-    const auto full = cache.full_metrics(app, opts);
-    result.report = xbar::design_from_traces(app, *traces, opts, &*full);
+    stages.full = *cache.full_metrics(app, opts);
   } else {
-    result.report = xbar::design_from_traces(app, *traces, opts,
-                                             /*full=*/nullptr,
-                                             /*validate=*/false);
+    stages.mode = xbar::validation_mode::skip;
   }
+  result.report = xbar::design_from_traces(app, *traces, opts, stages);
   return result;
 }
 

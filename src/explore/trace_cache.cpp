@@ -1,27 +1,32 @@
 #include "explore/trace_cache.h"
 
+#include "explore/codec.h"
 #include "obs/obs.h"
 
 namespace stx::explore {
 
-trace_cache::key_t trace_cache::make_key(const workloads::app_spec& app,
-                                         const xbar::flow_options& opts) {
-  return {app.name, opts.horizon, opts.seed, static_cast<int>(opts.policy),
-          opts.transfer_overhead};
-}
+namespace {
 
-template <typename T, typename Load>
-std::shared_ptr<const T> trace_cache::get(store_t<T>& store, const key_t& key,
+/// How the loader obtained a value; selects the stats bucket.
+enum class load_source { store, simulated };
+
+}  // namespace
+
+template <typename T, typename Simulate, typename Enc, typename Dec>
+std::shared_ptr<const T> trace_cache::get(store_t<T>& store,
+                                          const cache_key& key,
                                           const std::string& app_name,
-                                          bool is_trace, Load&& load) {
+                                          bool is_trace, Simulate&& simulate,
+                                          Enc&& enc, Dec&& dec) {
+  const auto map_key = encode(key);
   std::promise<std::shared_ptr<const T>> promise;
   std::shared_future<std::shared_ptr<const T>> future;
   bool loader = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    const auto it = store.find(key);
-    auto& per_app = stats_by_app_[app_name];
+    const auto it = store.find(map_key);
     if (it != store.end()) {
+      auto& per_app = stats_by_app_[app_name];
       ++(is_trace ? stats_.trace_hits : stats_.full_hits);
       ++(is_trace ? per_app.trace_hits : per_app.full_hits);
       obs::add_counter(
@@ -29,27 +34,58 @@ std::shared_ptr<const T> trace_cache::get(store_t<T>& store, const key_t& key,
           1);
       future = it->second;
     } else {
-      ++(is_trace ? stats_.trace_misses : stats_.full_misses);
-      ++(is_trace ? per_app.trace_misses : per_app.full_misses);
-      obs::add_counter(is_trace ? "explore.cache.trace_misses"
-                                : "explore.cache.full_misses",
-                       1);
       loader = true;
       future = promise.get_future().share();
-      store.emplace(key, future);
+      store.emplace(map_key, future);
     }
   }
   if (loader) {
-    // Simulate outside the lock so other keys proceed concurrently; same-
-    // key requesters block on the future until the value lands.
+    // Resolve outside the lock so other keys proceed concurrently; same-
+    // key requesters block on the future until the value lands. Misses
+    // (= simulations run) and store hits are counted here, once the
+    // source is known, so stats stay truthful with a backing store.
     try {
-      promise.set_value(std::make_shared<const T>(load()));
+      std::shared_ptr<const T> value;
+      auto source = load_source::simulated;
+      if (backing_) {
+        if (auto blob = backing_->get(key)) {
+          try {
+            value = std::make_shared<const T>(dec(*blob));
+            source = load_source::store;
+          } catch (const std::exception&) {
+            // Undecodable blob: miss; the write-through below replaces it.
+            value = nullptr;
+          }
+        }
+      }
+      if (!value) {
+        value = std::make_shared<const T>(simulate());
+        if (backing_) backing_->put(key, enc(*value));
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto& per_app = stats_by_app_[app_name];
+        if (source == load_source::store) {
+          ++(is_trace ? stats_.trace_store_hits : stats_.full_store_hits);
+          ++(is_trace ? per_app.trace_store_hits : per_app.full_store_hits);
+        } else {
+          ++(is_trace ? stats_.trace_misses : stats_.full_misses);
+          ++(is_trace ? per_app.trace_misses : per_app.full_misses);
+        }
+      }
+      obs::add_counter(source == load_source::store
+                           ? (is_trace ? "explore.cache.trace_store_hits"
+                                       : "explore.cache.full_store_hits")
+                           : (is_trace ? "explore.cache.trace_misses"
+                                       : "explore.cache.full_misses"),
+                       1);
+      promise.set_value(std::move(value));
     } catch (...) {
       // Drop the entry first so the failure is not cached: current
       // waiters get the exception, the next requester retries the load.
       {
         std::lock_guard<std::mutex> lock(mu_);
-        store.erase(key);
+        store.erase(map_key);
       }
       promise.set_exception(std::current_exception());
     }
@@ -58,15 +94,23 @@ std::shared_ptr<const T> trace_cache::get(store_t<T>& store, const key_t& key,
 }
 
 std::shared_ptr<const xbar::collected_traces> trace_cache::traces(
-    const workloads::app_spec& app, const xbar::flow_options& opts) {
-  return get(traces_, make_key(app, opts), app.name, /*is_trace=*/true,
-             [&] { return xbar::collect_traces(app, opts); });
+    const workloads::app_spec& app, const xbar::flow_options& opts,
+    const std::string& app_id) {
+  return get(
+      traces_, trace_key(app_id, opts), app_id, /*is_trace=*/true,
+      [&] { return xbar::collect_traces(app, opts); },
+      [](const xbar::collected_traces& t) { return encode_traces(t); },
+      [](const std::string& blob) { return decode_traces(blob); });
 }
 
 std::shared_ptr<const xbar::validation_metrics> trace_cache::full_metrics(
-    const workloads::app_spec& app, const xbar::flow_options& opts) {
-  return get(full_, make_key(app, opts), app.name, /*is_trace=*/false,
-             [&] { return xbar::validate_full_crossbars(app, opts); });
+    const workloads::app_spec& app, const xbar::flow_options& opts,
+    const std::string& app_id) {
+  return get(
+      full_, full_key(app_id, opts), app_id, /*is_trace=*/false,
+      [&] { return xbar::validate_full_crossbars(app, opts); },
+      [](const xbar::validation_metrics& m) { return encode_metrics(m); },
+      [](const std::string& blob) { return decode_metrics(blob); });
 }
 
 trace_cache::cache_stats trace_cache::stats() const {

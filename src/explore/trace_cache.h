@@ -3,6 +3,11 @@
 // the expensive collection simulation (and the full-crossbar reference
 // validation) runs exactly once per key no matter how many points or
 // worker threads request it.
+//
+// Optionally backed by a kv_store (constructor choice): with a
+// persistent explore::disk_store behind it, results survive the process
+// and a second run — or another binary pointed at the same cache
+// directory — serves them without re-simulating.
 #pragma once
 
 #include <cstdint>
@@ -10,22 +15,27 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <tuple>
+#include <string>
 
+#include "explore/cache_key.h"
+#include "explore/kv_store.h"
 #include "xbar/flow.h"
 
 namespace stx::explore {
 
 /// Memoises xbar::collect_traces and xbar::validate_full_crossbars per
-/// (app name, horizon, seed, policy, transfer_overhead) — everything the
-/// phase-1 simulation depends on; the synthesis knobs deliberately do
-/// not enter the key. Applications are identified by
-/// name: two different specs sharing a name would alias, so sweep specs
-/// must keep app names unique.
+/// stxkey/v1 trace/full key (app name, horizon, seed, policy,
+/// transfer_overhead — everything the phase-1 simulation depends on; the
+/// synthesis knobs deliberately do not enter the key). Applications are
+/// identified by name: two different specs sharing a name would alias,
+/// so sweep specs must keep app names unique.
 ///
-/// Concurrency: the first requester of a key inserts a future and runs
-/// the simulation outside the lock; concurrent requesters for the same
-/// key block on that future. Both guarantee exactly-once evaluation.
+/// Concurrency: the first requester of a key inserts a future and
+/// resolves it outside the lock; concurrent requesters for the same key
+/// block on that future. Both guarantee exactly-once evaluation per
+/// process; the backing store additionally guarantees at most one
+/// simulation per key across processes that share a cache directory
+/// (modulo racing cold starts, which write identical bytes).
 class trace_cache {
  public:
   struct cache_stats {
@@ -33,43 +43,74 @@ class trace_cache {
     std::int64_t trace_misses = 0;  ///< phase-1 collection simulations run
     std::int64_t full_hits = 0;
     std::int64_t full_misses = 0;   ///< full-crossbar reference sims run
+    /// Loads served from the backing store instead of simulating (0
+    /// without a backing store). A load is exactly one of: hit (served
+    /// from memory), store hit, or miss (simulated).
+    std::int64_t trace_store_hits = 0;
+    std::int64_t full_store_hits = 0;
   };
+
+  /// In-process only (no backing store) — contents die with the cache.
+  trace_cache() = default;
+
+  /// Backed by `backing`: loads consult it before simulating, and every
+  /// simulated result is written through. Pass an explore::disk_store
+  /// for persistence, or share one store between caches and a
+  /// serve::service.
+  explicit trace_cache(std::shared_ptr<kv_store> backing)
+      : backing_(std::move(backing)) {}
 
   /// The phase-1 traces for (app, opts); simulated on first request.
   std::shared_ptr<const xbar::collected_traces> traces(
-      const workloads::app_spec& app, const xbar::flow_options& opts);
+      const workloads::app_spec& app, const xbar::flow_options& opts) {
+    return traces(app, opts, app.name);
+  }
+
+  /// Same, under an explicit cache identity instead of app.name — for
+  /// generated applications whose display name is not content-unique
+  /// (the serve/fuzz paths pass the canonical stxfuzz/v1 token).
+  std::shared_ptr<const xbar::collected_traces> traces(
+      const workloads::app_spec& app, const xbar::flow_options& opts,
+      const std::string& app_id);
 
   /// The full-crossbar reference metrics for (app, opts); simulated on
   /// first request.
   std::shared_ptr<const xbar::validation_metrics> full_metrics(
-      const workloads::app_spec& app, const xbar::flow_options& opts);
+      const workloads::app_spec& app, const xbar::flow_options& opts) {
+    return full_metrics(app, opts, app.name);
+  }
+
+  /// full_metrics under an explicit cache identity (see traces).
+  std::shared_ptr<const xbar::validation_metrics> full_metrics(
+      const workloads::app_spec& app, const xbar::flow_options& opts,
+      const std::string& app_id);
 
   cache_stats stats() const;
 
   /// Hit/miss totals aggregated per application name. Exactly-once
-  /// insertion makes these deterministic regardless of worker count:
-  /// misses = #distinct keys requested, hits = requests − misses.
+  /// insertion makes these deterministic regardless of worker count.
   std::map<std::string, cache_stats> stats_by_app() const;
 
+  /// The backing store, or nullptr when in-process only.
+  kv_store* backing() const { return backing_.get(); }
+
  private:
-  using key_t = std::tuple<std::string, traffic::cycle_t, std::uint64_t,
-                           int, traffic::cycle_t>;
-
   template <typename T>
-  using store_t = std::map<key_t, std::shared_future<std::shared_ptr<const T>>>;
+  using store_t =
+      std::map<std::string, std::shared_future<std::shared_ptr<const T>>>;
 
-  static key_t make_key(const workloads::app_spec& app,
-                        const xbar::flow_options& opts);
-
-  /// Exactly-once lookup: returns the cached future's value, running
-  /// `load` (outside the lock) when this caller is the first for `key`.
-  /// `is_trace` selects which stats fields (and obs counters) the lookup
-  /// lands in.
-  template <typename T, typename Load>
-  std::shared_ptr<const T> get(store_t<T>& store, const key_t& key,
+  /// Exactly-once lookup keyed by encode(key): returns the cached
+  /// future's value, resolving it (outside the lock) when this caller is
+  /// the first — from the backing store when possible, else by running
+  /// `simulate`. `is_trace` selects which stats fields (and obs
+  /// counters) the lookup lands in; Codec supplies the blob round-trip
+  /// for the backing store.
+  template <typename T, typename Simulate, typename Enc, typename Dec>
+  std::shared_ptr<const T> get(store_t<T>& store, const cache_key& key,
                                const std::string& app_name, bool is_trace,
-                               Load&& load);
+                               Simulate&& simulate, Enc&& enc, Dec&& dec);
 
+  std::shared_ptr<kv_store> backing_;
   mutable std::mutex mu_;
   store_t<xbar::collected_traces> traces_;
   store_t<xbar::validation_metrics> full_;

@@ -81,6 +81,19 @@ void write_escaped(std::ostringstream& out, const std::string& s) {
   out << '"';
 }
 
+void write_double(std::ostringstream& out, double d) {
+  STX_REQUIRE(std::isfinite(d), "JSON cannot represent non-finite numbers");
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out << buf;
+  // Keep the number recognisable as a double after a round-trip.
+  const std::string s(buf);
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos) {
+    out << ".0";
+  }
+}
+
 void write_value(std::ostringstream& out, const value& v, int depth) {
   const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
   const std::string inner(static_cast<std::size_t>(depth + 1) * 2, ' ');
@@ -91,18 +104,7 @@ void write_value(std::ostringstream& out, const value& v, int depth) {
   } else if (v.is_int()) {
     out << v.as_int();
   } else if (v.is_double()) {
-    const double d = v.as_double();
-    STX_REQUIRE(std::isfinite(d), "JSON cannot represent non-finite numbers");
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", d);
-    out << buf;
-    // Keep the number recognisable as a double after a round-trip.
-    const std::string s(buf);
-    if (s.find('.') == std::string::npos &&
-        s.find('e') == std::string::npos &&
-        s.find("inf") == std::string::npos) {
-      out << ".0";
-    }
+    write_double(out, v.as_double());
   } else if (v.is_string()) {
     write_escaped(out, v.as_string());
   } else if (v.is_array()) {
@@ -348,12 +350,50 @@ class parser {
   std::size_t pos_ = 0;
 };
 
+void write_value_compact(std::ostringstream& out, const value& v) {
+  if (v.is_null()) {
+    out << "null";
+  } else if (v.is_bool()) {
+    out << (v.as_bool() ? "true" : "false");
+  } else if (v.is_int()) {
+    out << v.as_int();
+  } else if (v.is_double()) {
+    write_double(out, v.as_double());
+  } else if (v.is_string()) {
+    write_escaped(out, v.as_string());
+  } else if (v.is_array()) {
+    out << '[';
+    const auto& a = v.as_array();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (i > 0) out << ',';
+      write_value_compact(out, a[i]);
+    }
+    out << ']';
+  } else {
+    out << '{';
+    const auto& o = v.as_object();
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      if (i > 0) out << ',';
+      write_escaped(out, o[i].first);
+      out << ':';
+      write_value_compact(out, o[i].second);
+    }
+    out << '}';
+  }
+}
+
 }  // namespace
 
 std::string dump(const value& v) {
   std::ostringstream out;
   write_value(out, v, 0);
   out << '\n';
+  return out.str();
+}
+
+std::string dump_compact(const value& v) {
+  std::ostringstream out;
+  write_value_compact(out, v);
   return out.str();
 }
 

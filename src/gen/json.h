@@ -67,6 +67,12 @@ class value {
 /// Serialises `v` as pretty-printed JSON (2-space indent, trailing newline).
 std::string dump(const value& v);
 
+/// Serialises `v` on one line with no insignificant whitespace and no
+/// trailing newline — the wire form of line-delimited protocols
+/// (xbar-serve). Number formatting matches dump(), so
+/// parse(dump_compact(v)) == v holds whenever parse(dump(v)) == v does.
+std::string dump_compact(const value& v);
+
 /// Parses one JSON document; trailing non-whitespace or malformed input
 /// throws stx::invalid_argument_error with position information.
 value parse(const std::string& text);

@@ -1,0 +1,252 @@
+#include "serve/protocol.h"
+
+#include <set>
+
+#include "gen/json.h"
+#include "gen/json_backend.h"
+#include "sim/arbiter.h"
+#include "testkit/scenario.h"
+#include "util/error.h"
+
+namespace stx::serve {
+
+namespace json = gen::json;
+
+const char* to_string(request_op op) {
+  switch (op) {
+    case request_op::design: return "design";
+    case request_op::ping: return "ping";
+    case request_op::metrics: return "metrics";
+    case request_op::trace: return "trace";
+    case request_op::shutdown: return "shutdown";
+  }
+  return "?";
+}
+
+namespace {
+
+request_op parse_op(const std::string& s) {
+  if (s == "design") return request_op::design;
+  if (s == "ping") return request_op::ping;
+  if (s == "metrics") return request_op::metrics;
+  if (s == "trace") return request_op::trace;
+  if (s == "shutdown") return request_op::shutdown;
+  throw invalid_argument_error("unknown op '" + s + "'");
+}
+
+sim::arbitration parse_policy(const std::string& s) {
+  if (s == "fixed_priority") return sim::arbitration::fixed_priority;
+  if (s == "round_robin") return sim::arbitration::round_robin;
+  if (s == "least_recently_granted") {
+    return sim::arbitration::least_recently_granted;
+  }
+  throw invalid_argument_error("unknown policy '" + s + "'");
+}
+
+xbar::solver_kind parse_solver(const std::string& s) {
+  if (s == "specialized") return xbar::solver_kind::specialized;
+  if (s == "milp" || s == "generic_milp") {
+    return xbar::solver_kind::generic_milp;
+  }
+  throw invalid_argument_error("unknown solver '" + s + "'");
+}
+
+/// The design-request option fields, applied over whatever defaults the
+/// application identity established (flow defaults for built-in apps,
+/// the scenario's own options for stxfuzz requests).
+void apply_option_fields(const json::value& doc, design_request& req) {
+  auto& opts = req.opts;
+  if (doc.contains("horizon")) opts.horizon = doc.at("horizon").as_int();
+  if (doc.contains("seed")) {
+    opts.seed = static_cast<std::uint64_t>(doc.at("seed").as_int());
+  }
+  if (doc.contains("policy")) {
+    opts.policy = parse_policy(doc.at("policy").as_string());
+  }
+  if (doc.contains("transfer_overhead")) {
+    opts.transfer_overhead = doc.at("transfer_overhead").as_int();
+  }
+  auto& params = opts.synth.params;
+  if (doc.contains("window")) params.window_size = doc.at("window").as_int();
+  if (doc.contains("threshold")) {
+    params.overlap_threshold = doc.at("threshold").as_double();
+  }
+  if (doc.contains("maxtb")) {
+    params.max_targets_per_bus = static_cast<int>(doc.at("maxtb").as_int());
+  }
+  if (doc.contains("burst_window")) {
+    params.burst_window = doc.at("burst_window").as_int();
+  }
+  if (doc.contains("conflicts")) {
+    params.use_overlap_conflicts = doc.at("conflicts").as_bool();
+  }
+  if (doc.contains("critical")) {
+    params.separate_critical = doc.at("critical").as_bool();
+  }
+  if (doc.contains("request_window")) {
+    opts.request_window_override = doc.at("request_window").as_int();
+  }
+  if (doc.contains("response_window")) {
+    opts.response_window_override = doc.at("response_window").as_int();
+  }
+  if (doc.contains("solver")) {
+    opts.synth.solver = parse_solver(doc.at("solver").as_string());
+  }
+  if (doc.contains("optimize_binding")) {
+    opts.synth.optimize_binding = doc.at("optimize_binding").as_bool();
+  }
+  if (doc.contains("solver_node_limit")) {
+    const auto nodes = doc.at("solver_node_limit").as_int();
+    STX_REQUIRE(nodes >= 1, "solver_node_limit must be >= 1");
+    opts.synth.limits.max_nodes = nodes;
+  }
+  if (doc.contains("solver_time_ms")) {
+    const auto ms = doc.at("solver_time_ms").as_int();
+    STX_REQUIRE(ms >= 0, "solver_time_ms must be >= 0");
+    opts.synth.limits.time_limit_sec = static_cast<double>(ms) / 1000.0;
+  }
+  if (doc.contains("warm_start")) {
+    opts.synth.limits.warm_start = doc.at("warm_start").as_bool();
+  }
+  if (doc.contains("validate")) {
+    req.validate = doc.at("validate").as_bool();
+  }
+  if (doc.contains("artifacts")) {
+    for (const auto& a : doc.at("artifacts").as_array()) {
+      req.artifacts.push_back(a.as_string());
+    }
+  }
+}
+
+const std::set<std::string>& known_fields() {
+  static const std::set<std::string> fields = {
+      "op",           "id",
+      "app",          "scenario",
+      "horizon",      "seed",
+      "policy",       "transfer_overhead",
+      "window",       "threshold",
+      "maxtb",        "burst_window",
+      "conflicts",    "critical",
+      "request_window", "response_window",
+      "solver",       "optimize_binding",
+      "solver_node_limit", "solver_time_ms",
+      "warm_start",   "validate",
+      "artifacts",
+  };
+  return fields;
+}
+
+}  // namespace
+
+request parse_request(const std::string& line) {
+  const auto doc = json::parse(line);
+  STX_REQUIRE(doc.is_object(), "request must be a JSON object");
+  for (const auto& [key, v] : doc.as_object()) {
+    (void)v;
+    STX_REQUIRE(known_fields().count(key) != 0,
+                "unknown request field '" + key + "'");
+  }
+  request req;
+  STX_REQUIRE(doc.contains("op"), "request missing 'op'");
+  req.op = parse_op(doc.at("op").as_string());
+  if (doc.contains("id")) req.id = doc.at("id").as_string();
+  if (req.op != request_op::design) return req;
+
+  auto& d = req.design;
+  d.id = req.id;
+  const bool has_app = doc.contains("app");
+  const bool has_scenario = doc.contains("scenario");
+  STX_REQUIRE(has_app != has_scenario,
+              "design request needs exactly one of 'app' / 'scenario'");
+  if (has_app) {
+    d.app = doc.at("app").as_string();
+    STX_REQUIRE(!d.app.empty(), "'app' must not be empty");
+  } else {
+    // Canonicalise the token (decode validates, encode normalises) so
+    // every spelling of one scenario shares one cache identity.
+    d.scenario = testkit::encode(testkit::decode(doc.at("scenario").as_string()));
+    const auto s = testkit::decode(d.scenario);
+    d.opts = s.make_flow_options();
+  }
+  apply_option_fields(doc, d);
+  return req;
+}
+
+std::string serialize(const design_response& resp) {
+  json::object o;
+  if (!resp.id.empty()) o.emplace_back("id", resp.id);
+  o.emplace_back("ok", resp.ok);
+  if (!resp.ok) {
+    o.emplace_back("error", resp.error);
+    return json::dump_compact(json::value(std::move(o)));
+  }
+  o.emplace_back("app", resp.app_id);
+  o.emplace_back("source", resp.source);
+  o.emplace_back("elapsed_ms", resp.elapsed_ms);
+  if (resp.report.has_value()) {
+    o.emplace_back(
+        "report",
+        json::parse(gen::json_backend().emit(*resp.report,
+                                             resp.report->app_name)));
+  }
+  if (!resp.artifacts.empty()) {
+    json::array arts;
+    for (const auto& a : resp.artifacts) {
+      arts.push_back(json::object{{"backend", a.backend},
+                                  {"filename", a.filename},
+                                  {"content", a.content}});
+    }
+    o.emplace_back("artifacts", std::move(arts));
+  }
+  return json::dump_compact(json::value(std::move(o)));
+}
+
+design_response parse_response(const std::string& line) {
+  const auto doc = json::parse(line);
+  design_response resp;
+  if (doc.contains("id")) resp.id = doc.at("id").as_string();
+  resp.ok = doc.at("ok").as_bool();
+  if (!resp.ok) {
+    resp.error = doc.at("error").as_string();
+    return resp;
+  }
+  resp.app_id = doc.at("app").as_string();
+  resp.source = doc.at("source").as_string();
+  resp.elapsed_ms = doc.at("elapsed_ms").as_double();
+  if (doc.contains("report")) {
+    resp.report = gen::parse_design(json::dump(doc.at("report")));
+  }
+  if (doc.contains("artifacts")) {
+    for (const auto& a : doc.at("artifacts").as_array()) {
+      gen::artifact art;
+      art.backend = a.at("backend").as_string();
+      art.filename = a.at("filename").as_string();
+      art.content = a.at("content").as_string();
+      resp.artifacts.push_back(std::move(art));
+    }
+  }
+  return resp;
+}
+
+std::string serialize_simple(const std::string& id, request_op op,
+                             const std::string& embedded_json) {
+  json::object o;
+  if (!id.empty()) o.emplace_back("id", id);
+  o.emplace_back("ok", true);
+  o.emplace_back("op", to_string(op));
+  if (!embedded_json.empty()) {
+    const char* key = op == request_op::metrics ? "metrics" : "trace";
+    o.emplace_back(key, json::parse(embedded_json));
+  }
+  return json::dump_compact(json::value(std::move(o)));
+}
+
+std::string serialize_error(const std::string& id, const std::string& error) {
+  json::object o;
+  if (!id.empty()) o.emplace_back("id", id);
+  o.emplace_back("ok", false);
+  o.emplace_back("error", error);
+  return json::dump_compact(json::value(std::move(o)));
+}
+
+}  // namespace stx::serve

@@ -1,0 +1,97 @@
+// Wire protocol of the xbar-serve design service: line-delimited JSON
+// over a local stream socket. One request per line in, one response per
+// line out, in order.
+//
+// Request (op "design"):
+//   {"op":"design","id":"r1","app":"mat2","horizon":120000,
+//    "window":400,"threshold":0.3,"validate":true,
+//    "artifacts":["sv","dot"]}
+// or, for a generated application, the canonical stxfuzz/v1 scenario
+// token instead of a built-in name:
+//   {"op":"design","scenario":"stxfuzz/v1 seed=42 ini=4 tgt=6 ...","..."}
+// Exactly one of "app" / "scenario" must be present. Scenario requests
+// default every flow option from the scenario itself; explicitly present
+// fields override on top (same rule as app requests over the flow
+// defaults).
+//
+// Other ops: "ping" (liveness), "metrics" (stx-metrics/v1 snapshot of
+// the server's obs registry), "trace" (Chrome-trace-event batch of the
+// server's span buffer), "shutdown" (acknowledge, then stop serving).
+//
+// Response (op "design", success):
+//   {"id":"r1","ok":true,"app":"mat2","source":"computed|store",
+//    "elapsed_ms":...,"report":{...stx-crossbar-design/v1...},
+//    "artifacts":[{"backend":"sv","filename":"...","content":"..."}]}
+// Failure (any op): {"id":"r1","ok":false,"error":"..."}.
+// The embedded report document round-trips bit-exactly (%.17g doubles),
+// so a warm-cache response is byte-identical to the cold one.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gen/artifact.h"
+#include "xbar/flow.h"
+
+namespace stx::serve {
+
+enum class request_op { design, ping, metrics, trace, shutdown };
+
+const char* to_string(request_op op);
+
+/// One parsed design request: the application identity plus fully
+/// resolved flow options (defaults already applied).
+struct design_request {
+  std::string id;             ///< echoed back; may be empty
+  std::string app;            ///< built-in application name, or empty
+  std::string scenario;       ///< stxfuzz/v1 token, or empty
+  xbar::flow_options opts;
+  bool validate = true;       ///< run phase 4 (full reference + designed)
+  std::vector<std::string> artifacts;  ///< gen backend names to render
+};
+
+struct request {
+  request_op op = request_op::ping;
+  std::string id;
+  design_request design;  ///< populated when op == design
+};
+
+/// Parses one request line. Malformed JSON, an unknown op, unknown
+/// fields, out-of-range values, or an app/scenario conflict throw
+/// stx::invalid_argument_error with a message fit for the error
+/// response.
+request parse_request(const std::string& line);
+
+struct design_response {
+  std::string id;
+  bool ok = false;
+  std::string error;       ///< set when !ok
+  std::string app_id;      ///< canonical cache identity of the application
+  /// Where the report came from: "computed" (flow ran) or "store"
+  /// (served from the content-addressed store without simulation).
+  std::string source;
+  double elapsed_ms = 0.0;  ///< wall time in the service (nondeterministic)
+  std::optional<xbar::flow_report> report;
+  std::vector<gen::artifact> artifacts;
+};
+
+/// One response line (no trailing newline). The report is embedded as
+/// the stx-crossbar-design/v1 document.
+std::string serialize(const design_response& resp);
+
+/// Parses a serialize() line back (client side). The embedded report is
+/// reconstructed through gen::parse_design, so
+/// parse_response(serialize(r)).report == r.report holds exactly.
+design_response parse_response(const std::string& line);
+
+/// Non-design response lines, kept trivial: {"id":...,"ok":true,
+/// "op":"pong"} and friends, with an embedded document for
+/// metrics/trace.
+std::string serialize_simple(const std::string& id, request_op op,
+                             const std::string& embedded_json = "");
+
+/// One-line error response for any op.
+std::string serialize_error(const std::string& id, const std::string& error);
+
+}  // namespace stx::serve

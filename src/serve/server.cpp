@@ -1,0 +1,210 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "util/error.h"
+
+namespace stx::serve {
+
+namespace {
+
+/// A bound/connected AF_UNIX address for `path`; throws when the path
+/// does not fit (sun_path is ~108 bytes — keep socket paths short).
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  STX_REQUIRE(path.size() < sizeof(addr.sun_path),
+              "socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// Writes all of `data` (+ '\n') to `fd`; false on any error.
+bool write_line(int fd, const std::string& data) {
+  std::string line = data;
+  line.push_back('\n');
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const auto n = ::write(fd, line.data() + off, line.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads from `fd` into `buf` until it holds a full line; pops and
+/// returns it (without the newline). False on EOF/error with no line.
+bool read_line(int fd, std::string& buf, std::string& line) {
+  while (true) {
+    const auto nl = buf.find('\n');
+    if (nl != std::string::npos) {
+      line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const auto n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+server::server(service& svc, std::string socket_path)
+    : svc_(svc), path_(std::move(socket_path)) {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  STX_REQUIRE(listen_fd_ >= 0, "server: cannot create socket");
+  const auto addr = unix_address(path_);
+  ::unlink(path_.c_str());  // replace a stale socket from a dead server
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw invalid_argument_error("server: cannot bind " + path_ + ": " +
+                                 std::strerror(err));
+  }
+}
+
+server::~server() { stop(); }
+
+void server::start() {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void server::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listening socket closed by stop()
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_ || shutdown_) {
+      ::close(fd);
+      continue;
+    }
+    conn_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+std::string server::dispatch(const std::string& line, bool* shutdown) {
+  request req;
+  try {
+    req = parse_request(line);
+  } catch (const std::exception& e) {
+    obs::add_counter("serve.errors", 1);
+    return serialize_error("", e.what());
+  }
+  switch (req.op) {
+    case request_op::design:
+      return serialize(svc_.submit(req.design).get());
+    case request_op::ping:
+      return serialize_simple(req.id, request_op::ping);
+    case request_op::metrics:
+      return serialize_simple(req.id, request_op::metrics,
+                              obs::render_metrics_json());
+    case request_op::trace:
+      return serialize_simple(req.id, request_op::trace,
+                              obs::render_trace_json());
+    case request_op::shutdown:
+      *shutdown = true;
+      return serialize_simple(req.id, request_op::shutdown);
+  }
+  return serialize_error(req.id, "unhandled op");
+}
+
+void server::serve_connection(int fd) {
+  obs::add_counter("serve.connections", 1);
+  std::string buf, line;
+  bool shutdown = false;
+  while (!shutdown && read_line(fd, buf, line)) {
+    if (line.empty()) continue;
+    if (!write_line(fd, dispatch(line, &shutdown))) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conn_fds_.erase(fd);
+    if (shutdown) shutdown_ = true;
+  }
+  ::close(fd);
+  if (shutdown) cv_.notify_all();
+}
+
+void server::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return shutdown_ || stopped_; });
+}
+
+void server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    // Unblock every connection thread stuck in read().
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  cv_.notify_all();
+  if (listen_fd_ >= 0) {
+    // Closing the listening socket makes accept() fail and ends the
+    // accept loop; shutdown() first for portability with blocked accept.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  conn_threads_.clear();
+  ::unlink(path_.c_str());
+}
+
+std::vector<std::string> request_lines(const std::string& socket_path,
+                                       const std::vector<std::string>& lines) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  STX_REQUIRE(fd >= 0, "client: cannot create socket");
+  const auto addr = unix_address(socket_path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw invalid_argument_error("client: cannot connect to " + socket_path +
+                                 ": " + std::strerror(err));
+  }
+  std::vector<std::string> responses;
+  std::string buf, line;
+  for (const auto& l : lines) {
+    if (!write_line(fd, l) || !read_line(fd, buf, line)) {
+      ::close(fd);
+      throw invalid_argument_error("client: connection to " + socket_path +
+                                   " failed mid-request");
+    }
+    responses.push_back(line);
+  }
+  ::close(fd);
+  return responses;
+}
+
+std::string request_line(const std::string& socket_path,
+                         const std::string& line) {
+  return request_lines(socket_path, {line}).front();
+}
+
+}  // namespace stx::serve

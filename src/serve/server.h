@@ -1,0 +1,71 @@
+// Local stream-socket transport for the design service: an AF_UNIX
+// listener speaking the line-delimited JSON protocol of
+// serve/protocol.h. One thread per connection; each connection's
+// requests are answered in order, and concurrency comes from concurrent
+// connections feeding the shared service worker pool.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace stx::serve {
+
+class server {
+ public:
+  /// Binds `socket_path` (an existing stale socket file is replaced).
+  /// Throws stx::invalid_argument_error when the socket cannot be bound.
+  server(service& svc, std::string socket_path);
+  ~server();  ///< stop()s if still running
+
+  server(const server&) = delete;
+  server& operator=(const server&) = delete;
+
+  /// Starts accepting connections (returns immediately).
+  void start();
+
+  /// Blocks until a client sent the "shutdown" op or stop() was called.
+  void wait();
+
+  /// Stops accepting, unblocks every connection, joins all threads and
+  /// removes the socket file. Idempotent.
+  void stop();
+
+  const std::string& socket_path() const { return path_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  /// Dispatches one request line to one response line (never throws —
+  /// parse/flow errors become error responses).
+  std::string dispatch(const std::string& line, bool* shutdown);
+
+  service& svc_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  bool stopped_ = false;
+  std::set<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+/// Client side, used by the CLI --client mode, tests and the throughput
+/// bench: connects to `socket_path`, sends each line, reads one response
+/// line per request, returns them in order. Throws
+/// stx::invalid_argument_error on connect/write/read failure.
+std::vector<std::string> request_lines(const std::string& socket_path,
+                                       const std::vector<std::string>& lines);
+
+/// request_lines for a single request.
+std::string request_line(const std::string& socket_path,
+                         const std::string& line);
+
+}  // namespace stx::serve

@@ -45,13 +45,20 @@ std::vector<invariant_cost> invariant_costs(const obs::metrics_snapshot& before,
 
 std::vector<violation> run_scenario(const scenario& s,
                                     const oracle_options& oopts,
-                                    xbar::flow_report* report_out) {
+                                    xbar::flow_report* report_out,
+                                    explore::trace_cache* cache) {
   try {
     const auto app = s.make_app();
     const auto opts = s.make_flow_options();
-    const auto traces = xbar::collect_traces(app, opts);
-    const auto report = xbar::design_from_traces(app, traces, opts);
-    auto violations = check_flow_invariants(app, traces, opts, report, oopts);
+    // The cache identity is the canonical token, not s.name(): two
+    // scenarios may share a display name but never an encoding.
+    const auto traces = cache != nullptr
+                            ? cache->traces(app, opts, encode(s))
+                            : std::make_shared<const xbar::collected_traces>(
+                                  xbar::collect_traces(app, opts));
+    const auto report = xbar::design_from_traces(app, *traces, opts);
+    auto violations =
+        check_flow_invariants(app, *traces, opts, report, oopts);
     if (violations.empty() && report_out != nullptr) *report_out = report;
     return violations;
   } catch (const std::exception& e) {
@@ -73,7 +80,7 @@ fuzz_report run_fuzz(const fuzz_options& opts, const fuzz_progress& progress) {
     rng r = master.split(static_cast<std::uint64_t>(k) + 1);
     const auto s = sample_scenario(r);
     xbar::flow_report flow;
-    auto violations = run_scenario(s, opts.oracle, &flow);
+    auto violations = run_scenario(s, opts.oracle, &flow, opts.cache);
     if (violations.empty()) {
       out.total_packets += flow.designed.packets + flow.full.packets;
       out.total_buses_designed += flow.designed_buses;
@@ -89,13 +96,15 @@ fuzz_report run_fuzz(const fuzz_options& opts, const fuzz_progress& progress) {
       const auto res = shrink(
           s,
           [&](const scenario& c) {
-            return !run_scenario(c, opts.oracle).empty();
+            return !run_scenario(c, opts.oracle, nullptr, opts.cache)
+                        .empty();
           },
           opts.shrinker);
       f.shrunk = res.best;
       f.shrink_attempts = res.attempts;
       if (res.improvements > 0) {
-        f.shrunk_violations = run_scenario(res.best, opts.oracle);
+        f.shrunk_violations =
+            run_scenario(res.best, opts.oracle, nullptr, opts.cache);
       }
     }
     out.failures.push_back(std::move(f));

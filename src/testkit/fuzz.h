@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "explore/trace_cache.h"
 #include "testkit/oracle.h"
 #include "testkit/scenario.h"
 #include "testkit/shrink.h"
@@ -18,6 +19,11 @@ struct fuzz_options {
   bool shrink = true;
   oracle_options oracle;
   shrink_options shrinker;
+  /// Optional phase-1 cache (keyed by the canonical stxfuzz/v1 token, so
+  /// scenarios can never alias). With a persistent store behind it,
+  /// repeated campaigns and shrink re-runs of the same scenario skip the
+  /// collection simulation. Not owned; null = collect fresh every run.
+  explore::trace_cache* cache = nullptr;
 };
 
 /// One failing scenario, as reported: the raw sample, the minimized
@@ -58,9 +64,12 @@ struct fuzz_report {
 /// oracle). An exception anywhere in the flow is itself an oracle failure
 /// and is reported as invariant "exception". `report_out`, when non-null,
 /// receives the flow report of a successful run (untouched on failure).
+/// `cache`, when non-null, serves the phase-1 collection (see
+/// fuzz_options::cache).
 std::vector<violation> run_scenario(const scenario& s,
                                     const oracle_options& oopts,
-                                    xbar::flow_report* report_out = nullptr);
+                                    xbar::flow_report* report_out = nullptr,
+                                    explore::trace_cache* cache = nullptr);
 
 /// Progress hook: called after every run with (index, scenario, failed).
 using fuzz_progress = std::function<void(int, const scenario&, bool)>;

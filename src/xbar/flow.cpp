@@ -95,11 +95,9 @@ validation_metrics validate_full_crossbars(const workloads::app_spec& app,
   return validate_configuration(app, full_req, full_resp, opts);
 }
 
-flow_report design_from_traces(const workloads::app_spec& app,
-                               const collected_traces& traces,
-                               const flow_options& opts,
-                               const validation_metrics* full,
-                               bool validate) {
+flow_report synthesize_design(const workloads::app_spec& app,
+                              const collected_traces& traces,
+                              const flow_options& opts) {
   app.validate();
   flow_report report;
   report.app_name = app.name;
@@ -132,21 +130,33 @@ flow_report design_from_traces(const workloads::app_spec& app,
     report.response_design = synthesize(*resp_input, resp_opts);
   }
 
-  // ---- Phase 4: validation simulations.
-  if (validate) {
-    obs::span sp("flow.validate", {{"app", app.name}});
-    const auto req_cfg = report.request_design.to_config(
-        opts.policy, opts.transfer_overhead);
-    const auto resp_cfg = report.response_design.to_config(
-        opts.policy, opts.transfer_overhead);
-    report.designed = validate_configuration(app, req_cfg, resp_cfg, opts);
-    report.full =
-        full != nullptr ? *full : validate_full_crossbars(app, opts);
-  }
-
   report.full_buses = app.total_cores();
   report.designed_buses =
       report.request_design.num_buses + report.response_design.num_buses;
+  return report;
+}
+
+void validate_design(const workloads::app_spec& app, const flow_options& opts,
+                     const std::optional<validation_metrics>& full,
+                     flow_report& report) {
+  // ---- Phase 4: validation simulations.
+  obs::span sp("flow.validate", {{"app", app.name}});
+  const auto req_cfg =
+      report.request_design.to_config(opts.policy, opts.transfer_overhead);
+  const auto resp_cfg =
+      report.response_design.to_config(opts.policy, opts.transfer_overhead);
+  report.designed = validate_configuration(app, req_cfg, resp_cfg, opts);
+  report.full = full.has_value() ? *full : validate_full_crossbars(app, opts);
+}
+
+flow_report design_from_traces(const workloads::app_spec& app,
+                               const collected_traces& traces,
+                               const flow_options& opts,
+                               const flow_stage_inputs& stages) {
+  auto report = synthesize_design(app, traces, opts);
+  if (stages.mode == validation_mode::validate) {
+    validate_design(app, opts, stages.full, report);
+  }
   return report;
 }
 

@@ -2,6 +2,7 @@
 // window analysis & pre-processing -> synthesis -> validation simulation.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -110,23 +111,60 @@ struct collected_traces {
 collected_traces collect_traces(const workloads::app_spec& app,
                                 const flow_options& opts);
 
-/// Phases 2-4 with an injected phase-1 result: synthesises both
-/// directions from `traces` (honouring the per-direction window
-/// overrides), validates the design, and assembles the report.
-/// `run_design_flow` is exactly `collect_traces` + this; design-space
-/// sweeps call it directly so one cached trace serves many parameter
-/// points. When `full` is non-null it is used as the full-crossbar
-/// reference instead of re-simulating (see validate_full_crossbars);
-/// passing the metrics of a different (app, options) pair is undefined.
-/// With `validate` false, phase 4 is skipped entirely (`full` is
-/// ignored): the report still carries the designs, endpoint names,
-/// traffic matrices and bus counts, with zeroed latency metrics —
-/// synthesis-only sweeps (Figs. 5-6 shapes) need nothing more.
+/// Whether (and how) phase 4 runs after synthesis.
+enum class validation_mode {
+  /// Run the validation simulations: the designed configuration, plus the
+  /// full-crossbar reference unless stage inputs supply it precomputed.
+  validate,
+  /// Skip phase 4 entirely: the report still carries the designs,
+  /// endpoint names, traffic matrices and bus counts, with zeroed latency
+  /// metrics — synthesis-only sweeps (Figs. 5-6 shapes) need nothing
+  /// more.
+  skip,
+};
+
+/// Precomputed inputs a staged flow invocation carries between stages.
+/// Replaces the old `(const validation_metrics* full, bool validate)`
+/// trailing parameters, whose pointer lifetime and positional-bool
+/// semantics were easy to misuse.
+struct flow_stage_inputs {
+  /// Full-crossbar reference metrics, when a cache already holds them
+  /// (see validate_full_crossbars). Must come from the same
+  /// (app, horizon, seed, policy, transfer_overhead) as `opts` — the
+  /// explore::trace_cache / serve::service keys guarantee this; hand
+  /// callers must too, or the report's `full` section lies.
+  std::optional<validation_metrics> full;
+  validation_mode mode = validation_mode::validate;
+};
+
+/// Stage "analyze + synthesize" (phases 2-3) alone: window analysis,
+/// pre-processing and crossbar synthesis for both directions from an
+/// injected phase-1 result, honouring the per-direction window
+/// overrides. The report comes back unvalidated (zeroed latency metrics)
+/// but otherwise complete, and is exactly what the persistent store
+/// caches at the synthesis stage.
+flow_report synthesize_design(const workloads::app_spec& app,
+                              const collected_traces& traces,
+                              const flow_options& opts);
+
+/// Stage "validate" (phase 4) against an already-synthesised report:
+/// simulates the designed configuration and fills report.designed, then
+/// report.full from `full` when provided (else re-simulates the
+/// full-crossbar reference). Idempotent: re-running overwrites the same
+/// fields.
+void validate_design(const workloads::app_spec& app, const flow_options& opts,
+                     const std::optional<validation_metrics>& full,
+                     flow_report& report);
+
+/// Phases 2-4 with an injected phase-1 result: `synthesize_design`
+/// followed by `validate_design` (per stages.mode). `run_design_flow` is
+/// exactly `collect_traces` + this; design-space sweeps and the design
+/// service call it directly so one cached trace serves many parameter
+/// points.
 flow_report design_from_traces(const workloads::app_spec& app,
                                const collected_traces& traces,
                                const flow_options& opts,
-                               const validation_metrics* full = nullptr,
-                               bool validate = true);
+                               const flow_stage_inputs& stages = {});
 
 /// Phase 5, "Generation" (the step Fig. 3 feeds into): renders `report`
 /// into deployable artifacts through the gen backend registry. Backend

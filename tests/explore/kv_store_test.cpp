@@ -1,0 +1,63 @@
+// The narrow kv_store contract on the in-process implementation:
+// get/put/contains semantics and honest hit/miss accounting.
+#include "explore/kv_store.h"
+
+#include <gtest/gtest.h>
+
+namespace stx::explore {
+namespace {
+
+cache_key key_for(const std::string& app) {
+  return trace_key(app, xbar::flow_options{});
+}
+
+TEST(MemoryStore, MissThenPutThenHit) {
+  memory_store store;
+  const auto key = key_for("mat2");
+  EXPECT_EQ(store.get(key), std::nullopt);
+  store.put(key, "payload bytes");
+  const auto got = store.get(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "payload bytes");
+
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.puts, 1);
+  EXPECT_EQ(stats.corrupt, 0);  // memory entries cannot corrupt
+}
+
+TEST(MemoryStore, ContainsDoesNotCountAsAHit) {
+  memory_store store;
+  const auto key = key_for("fft");
+  EXPECT_FALSE(store.contains(key));
+  store.put(key, "x");
+  EXPECT_TRUE(store.contains(key));
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 0);
+}
+
+TEST(MemoryStore, PutReplacesAndLastWriterWins) {
+  memory_store store;
+  const auto key = key_for("qsort");
+  store.put(key, "first");
+  store.put(key, "second");
+  EXPECT_EQ(store.get(key).value(), "second");
+  EXPECT_EQ(store.stats().puts, 2);
+}
+
+TEST(MemoryStore, DistinctKeysAreDistinctEntries) {
+  memory_store store;
+  store.put(key_for("a"), "A");
+  store.put(key_for("b"), "B");
+  EXPECT_EQ(store.get(key_for("a")).value(), "A");
+  EXPECT_EQ(store.get(key_for("b")).value(), "B");
+  // Binary payloads (embedded NUL, newlines) survive untouched.
+  const std::string blob("tr\0ace\nbytes", 12);
+  store.put(key_for("bin"), blob);
+  EXPECT_EQ(store.get(key_for("bin")).value(), blob);
+}
+
+}  // namespace
+}  // namespace stx::explore

@@ -1,0 +1,231 @@
+// The persistent content-addressed store under the trace cache and the
+// staged design flow: entries survive into fresh store/cache instances
+// (the in-process stand-in for a second process), corrupted objects are
+// misses that get rewritten — never crashes — and a warm whole-report
+// hit is bit-identical to the cold computation without running the
+// simulator or the solver.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include "explore/cache_key.h"
+#include "explore/codec.h"
+#include "explore/disk_store.h"
+#include "explore/trace_cache.h"
+#include "obs/obs.h"
+#include "serve/service.h"
+#include "workloads/synthetic.h"
+
+namespace stx::explore {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh per-test directory under the system temp root.
+fs::path test_dir(const std::string& name) {
+  const auto dir = fs::temp_directory_path() / ("stx-pcache-" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+workloads::app_spec small_app() {
+  workloads::synthetic_params params;
+  params.num_cores = 8;
+  return workloads::make_synthetic(params);
+}
+
+xbar::flow_options fast_options() {
+  xbar::flow_options opts;
+  opts.horizon = 8'000;
+  return opts;
+}
+
+TEST(DiskStore, EntriesSurviveReopen) {
+  const auto dir = test_dir("reopen");
+  const auto key = trace_key("mat2", fast_options());
+  {
+    disk_store store(dir.string());
+    EXPECT_EQ(store.get(key), std::nullopt);
+    store.put(key, "persisted bytes");
+    EXPECT_EQ(store.get(key).value(), "persisted bytes");
+  }
+  // A brand-new instance on the same directory — how a second process
+  // sees the store — serves the entry.
+  disk_store reopened(dir.string());
+  EXPECT_TRUE(reopened.contains(key));
+  EXPECT_EQ(reopened.get(key).value(), "persisted bytes");
+  const auto stats = reopened.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 0);
+  fs::remove_all(dir);
+}
+
+TEST(DiskStore, TruncatedObjectIsAMissAndIsRewritten) {
+  const auto dir = test_dir("truncated");
+  disk_store store(dir.string());
+  const auto key = trace_key("mat2", fast_options());
+  store.put(key, "a payload long enough to truncate meaningfully");
+  const auto obj = dir / "objects" / (hash_hex(key) + ".stx");
+  ASSERT_TRUE(fs::exists(obj));
+
+  fs::resize_file(obj, fs::file_size(obj) / 2);
+  EXPECT_EQ(store.get(key), std::nullopt);
+  EXPECT_FALSE(store.contains(key));
+  EXPECT_EQ(store.stats().corrupt, 1);
+
+  // The recompute-and-put cycle heals the entry in place.
+  store.put(key, "recomputed payload");
+  EXPECT_EQ(store.get(key).value(), "recomputed payload");
+  EXPECT_EQ(store.stats().corrupt, 1);  // no new corruption seen
+  fs::remove_all(dir);
+}
+
+TEST(DiskStore, GarbageAndWrongKeyObjectsAreMisses) {
+  const auto dir = test_dir("garbage");
+  disk_store store(dir.string());
+  const auto key = full_key("fft", fast_options());
+  const auto obj = dir / "objects" / (hash_hex(key) + ".stx");
+
+  {
+    std::ofstream out(obj, std::ios::binary);
+    out << "not an stxstore envelope at all\n\x01\x02\x03";
+  }
+  EXPECT_EQ(store.get(key), std::nullopt);
+  EXPECT_EQ(store.stats().corrupt, 1);
+
+  // A well-formed envelope for a DIFFERENT key at this path (a hash
+  // collision in effigy) must not be served as this key's value.
+  store.put(key, "right");
+  auto envelope = [&] {
+    std::ifstream in(obj, std::ios::binary);
+    std::string s((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+    return s;
+  }();
+  const auto other_line = encode(full_key("other-app", fast_options()));
+  const auto key_line = encode(key);
+  envelope.replace(envelope.find(key_line), key_line.size(), other_line);
+  {
+    std::ofstream out(obj, std::ios::binary | std::ios::trunc);
+    out << envelope;
+  }
+  EXPECT_EQ(store.get(key), std::nullopt);
+  EXPECT_EQ(store.stats().corrupt, 2);
+  fs::remove_all(dir);
+}
+
+TEST(PersistentCache, SecondCacheInstanceServesWithoutSimulating) {
+  const auto dir = test_dir("reuse");
+  const auto app = small_app();
+  const auto opts = fast_options();
+  {
+    trace_cache cache(std::make_shared<disk_store>(dir.string()));
+    (void)cache.traces(app, opts);
+    (void)cache.full_metrics(app, opts);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.trace_misses, 1);
+    EXPECT_EQ(stats.full_misses, 1);
+    EXPECT_EQ(stats.trace_store_hits, 0);
+  }
+  // A fresh cache over a fresh store on the same directory: both stages
+  // load from disk — `misses` (simulations actually run) stays 0.
+  trace_cache cache(std::make_shared<disk_store>(dir.string()));
+  const auto traces = cache.traces(app, opts);
+  const auto metrics = cache.full_metrics(app, opts);
+  ASSERT_NE(traces, nullptr);
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_GT(metrics->avg_latency, 0.0);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.trace_misses, 0);
+  EXPECT_EQ(stats.full_misses, 0);
+  EXPECT_EQ(stats.trace_store_hits, 1);
+  EXPECT_EQ(stats.full_store_hits, 1);
+  fs::remove_all(dir);
+}
+
+TEST(PersistentCache, CorruptTraceObjectFallsBackToSimulation) {
+  const auto dir = test_dir("heal");
+  const auto app = small_app();
+  const auto opts = fast_options();
+  const auto key = trace_key(app.name, opts);
+  {
+    trace_cache cache(std::make_shared<disk_store>(dir.string()));
+    (void)cache.traces(app, opts);
+  }
+  const auto obj = dir / "objects" / (hash_hex(key) + ".stx");
+  ASSERT_TRUE(fs::exists(obj));
+  fs::resize_file(obj, 5);
+
+  // The corrupt entry reads as a miss: the cache re-simulates and the
+  // write-through heals the object for the next consumer.
+  auto store = std::make_shared<disk_store>(dir.string());
+  {
+    trace_cache cache(store);
+    ASSERT_NE(cache.traces(app, opts), nullptr);
+    EXPECT_EQ(cache.stats().trace_misses, 1);
+    EXPECT_EQ(cache.stats().trace_store_hits, 0);
+  }
+  EXPECT_EQ(store->stats().corrupt, 1);
+  trace_cache healed(std::make_shared<disk_store>(dir.string()));
+  (void)healed.traces(app, opts);
+  EXPECT_EQ(healed.stats().trace_store_hits, 1);
+  fs::remove_all(dir);
+}
+
+// The acceptance criterion of the design service: a warm-cache request
+// returns a bit-identical flow_report WITHOUT re-running simulation or
+// the solver — asserted on the sim.* / milp.* obs counters staying flat
+// across the hit.
+TEST(PersistentCache, WarmReportIsBitIdenticalWithSimAndSolverCountersFlat) {
+  const auto dir = test_dir("warm-report");
+  const auto app = small_app();
+  auto opts = fast_options();
+  // The generic-MILP solver, so the solver cost shows up in milp.*
+  // counters on the cold pass (the specialized solver would too, under
+  // xbar.synth.*, but the MILP path covers both families).
+  opts.synth.solver = xbar::solver_kind::generic_milp;
+
+  obs::reset();
+  obs::enable();
+  xbar::flow_report cold;
+  {
+    auto store = std::make_shared<disk_store>(dir.string());
+    trace_cache cache(store);
+    auto result = serve::cached_design(app, app.name, opts,
+                                       /*validate=*/true, cache, store.get());
+    EXPECT_FALSE(result.from_store);
+    cold = std::move(result.report);
+  }
+  const auto before = obs::snapshot();
+  ASSERT_GT(before.counter("sim.runs"), 0);
+  ASSERT_GT(before.counter("milp.solves"), 0);
+
+  {
+    auto store = std::make_shared<disk_store>(dir.string());
+    trace_cache cache(store);
+    auto result = serve::cached_design(app, app.name, opts,
+                                       /*validate=*/true, cache, store.get());
+    EXPECT_TRUE(result.from_store);
+    EXPECT_EQ(result.report, cold);  // field-exact, doubles included
+    // Bit-identical on the wire too: the stored document re-encodes to
+    // the same bytes the cold report encodes to.
+    EXPECT_EQ(encode_report(result.report), encode_report(cold));
+  }
+  const auto after = obs::snapshot();
+  EXPECT_EQ(after.counter("sim.runs"), before.counter("sim.runs"));
+  EXPECT_EQ(after.counter("sim.events_processed"),
+            before.counter("sim.events_processed"));
+  EXPECT_EQ(after.counter("milp.solves"), before.counter("milp.solves"));
+  EXPECT_EQ(after.counter("milp.nodes"), before.counter("milp.nodes"));
+  EXPECT_EQ(after.counter("xbar.synth.runs"),
+            before.counter("xbar.synth.runs"));
+  EXPECT_EQ(after.counter("serve.report.store_hits"),
+            before.counter("serve.report.store_hits") + 1);
+  obs::reset();
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace stx::explore

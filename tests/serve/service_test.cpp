@@ -1,0 +1,152 @@
+// The design-service engine: worker-pool execution, whole-report store
+// hits, in-flight dedup of identical requests, bounded admission, and
+// error accounting — all through the transport-free service API.
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <vector>
+
+namespace stx::serve {
+namespace {
+
+design_request quick_request(const std::string& id,
+                             std::int64_t horizon = 8'000) {
+  design_request req;
+  req.id = id;
+  req.app = "qsort";
+  req.opts.horizon = horizon;
+  return req;
+}
+
+TEST(Service, ComputesThenServesTheSameRequestFromTheStore) {
+  service::options opts;
+  opts.workers = 1;
+  service svc(opts);
+
+  const auto first = svc.submit(quick_request("a")).get();
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.source, "computed");
+  EXPECT_EQ(first.app_id, "qsort");
+  ASSERT_TRUE(first.report.has_value());
+
+  const auto second = svc.submit(quick_request("b")).get();
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(second.source, "store");
+  EXPECT_EQ(*second.report, *first.report);
+
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 2);
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.store_hits, 1);
+  EXPECT_EQ(stats.errors, 0);
+}
+
+TEST(Service, DistinctOptionsAreDistinctDesigns) {
+  service::options opts;
+  opts.workers = 2;
+  service svc(opts);
+  const auto a = svc.submit(quick_request("a", 8'000)).get();
+  const auto b = svc.submit(quick_request("b", 9'000)).get();
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(b.source, "computed");  // different horizon, different key
+  EXPECT_EQ(svc.stats().store_hits, 0);
+}
+
+TEST(Service, UnknownAppResolvesImmediatelyAsAnError) {
+  service::options opts;
+  opts.workers = 1;
+  service svc(opts);
+  auto req = quick_request("bad");
+  req.app = "no-such-app";
+  auto fut = svc.submit(req);
+  // Rejected at resolve time, before ever touching the queue.
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const auto resp = fut.get();
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("unknown app"), std::string::npos);
+  EXPECT_EQ(svc.stats().errors, 1);
+  EXPECT_EQ(svc.stats().completed, 0);
+}
+
+TEST(Service, IdenticalInFlightRequestsCoalesce) {
+  service::options opts;
+  opts.workers = 1;  // the slow job occupies the only worker
+  opts.queue_depth = 8;
+  service svc(opts);
+
+  // While "slow" runs, both spellings of the identical request sit
+  // behind it: the second submit joins the first's future instead of
+  // enqueuing a duplicate execution.
+  auto slow = svc.submit(quick_request("slow", 30'000));
+  auto b1 = svc.submit(quick_request("b1", 8'000));
+  auto b2 = svc.submit(quick_request("b2", 8'000));
+
+  EXPECT_EQ(svc.stats().coalesced, 1);
+  const auto r1 = b1.get();
+  const auto r2 = b2.get();
+  EXPECT_EQ(r2.id, "b1");  // the shared execution echoes the first id
+  EXPECT_EQ(r1.id, "b1");
+  EXPECT_EQ(*r1.report, *r2.report);
+  (void)slow.get();
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 3);
+  EXPECT_EQ(stats.completed, 2);  // slow + one shared execution
+}
+
+TEST(Service, BoundedAdmissionRejectsOverflowImmediately) {
+  service::options opts;
+  opts.workers = 1;
+  opts.queue_depth = 1;
+  service svc(opts);
+
+  // Distinct requests pile in much faster than the worker drains them;
+  // the admission bound must bounce one long before 32 submissions.
+  std::vector<std::shared_future<design_response>> futures;
+  for (int i = 0; i < 32 && svc.stats().rejected == 0; ++i) {
+    futures.push_back(svc.submit(quick_request("q" + std::to_string(i),
+                                               8'000 + i)));
+  }
+  ASSERT_GT(svc.stats().rejected, 0);
+  const auto rejected = futures.back().get();  // the bounced submit
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_NE(rejected.error.find("admission queue full"), std::string::npos);
+  for (auto& f : futures) (void)f.get();  // everything resolves
+}
+
+TEST(Service, ScenarioRequestsDesignGeneratedApps) {
+  service::options opts;
+  opts.workers = 1;
+  service svc(opts);
+  design_request req;
+  req.id = "s1";
+  req.scenario = "stxfuzz/v1 seed=7 ini=3 tgt=3 horizon=6000";
+  // The service resolves options the same way the protocol does for a
+  // direct submit: scenario defaults first.
+  req.opts.horizon = 6'000;
+  const auto resp = svc.submit(req).get();
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_EQ(resp.app_id, req.scenario);
+  ASSERT_TRUE(resp.report.has_value());
+  EXPECT_GT(resp.report->designed_buses, 0);
+}
+
+TEST(Service, ArtifactSelectionRendersIntoTheResponse) {
+  service::options opts;
+  opts.workers = 1;
+  service svc(opts);
+  auto req = quick_request("art");
+  req.artifacts = {"report"};
+  const auto resp = svc.submit(req).get();
+  ASSERT_TRUE(resp.ok) << resp.error;
+  ASSERT_EQ(resp.artifacts.size(), 1u);
+  EXPECT_EQ(resp.artifacts[0].backend, "report");
+  EXPECT_FALSE(resp.artifacts[0].content.empty());
+}
+
+}  // namespace
+}  // namespace stx::serve

@@ -28,9 +28,7 @@ TEST(CoverageProperty, EveryAppCoversExactlyItsTrafficLinks) {
     const auto traces = xbar::collect_traces(app, opts);
     // Synthesis-only: coverage is a property of the designs and the
     // phase-1 traffic, not of the validation run.
-    const auto report =
-        xbar::design_from_traces(app, traces, opts, nullptr,
-                                 /*validate=*/false);
+    const auto report = xbar::synthesize_design(app, traces, opts);
 
     // No orphan endpoints: every initiator keeps some target busy, every
     // target is kept busy by someone, in both directions.
@@ -74,9 +72,7 @@ TEST(CoverageProperty, HoldsOnRandomScenariosToo) {
     const auto app = s.make_app();
     const auto opts = s.make_flow_options();
     const auto traces = xbar::collect_traces(app, opts);
-    const auto report =
-        xbar::design_from_traces(app, traces, opts, nullptr,
-                                 /*validate=*/false);
+    const auto report = xbar::synthesize_design(app, traces, opts);
     std::vector<violation> vs;
     check_coverage(report, &vs);
     EXPECT_TRUE(vs.empty()) << to_string(vs);
