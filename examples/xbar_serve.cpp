@@ -2,11 +2,11 @@
 //
 // Serve design requests over a local socket until a client sends the
 // "shutdown" op:
-//   $ ./xbar-serve --socket=/tmp/xbar.sock --workers=4 \
+//   $ ./xbar-serve --socket=/tmp/xbar.sock --workers=4
 //                  --cache-dir=/var/cache/stxbar
 //
 // One-shot client mode (send REQUEST, print the response line):
-//   $ ./xbar-serve --socket=/tmp/xbar.sock \
+//   $ ./xbar-serve --socket=/tmp/xbar.sock
 //       --client='{"op":"design","app":"mat2","horizon":20000}'
 //
 // The protocol is line-delimited JSON (see src/serve/protocol.h): ops

@@ -1,6 +1,8 @@
 #include "explore/disk_store.h"
 
+#include <chrono>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <system_error>
 
@@ -8,6 +10,7 @@
 #include "util/error.h"
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
 #include <unistd.h>
 #endif
 
@@ -70,7 +73,60 @@ std::optional<std::string> extract_payload(const std::string& file,
   return file.substr(pos);
 }
 
+/// Staging files older than this are stale regardless of their name: a
+/// healthy put() renames within milliseconds of creating them.
+constexpr auto stale_tmp_age = std::chrono::hours(1);
+
+/// Whether the writer encoded in a staging-file name is still alive.
+/// Names are "<hash>.<pid>.<seq>"; nullopt when the name does not parse
+/// (foreign file — fall back to the age gate alone).
+std::optional<bool> tmp_writer_alive(const std::string& name) {
+  const auto first = name.find('.');
+  if (first == std::string::npos) return std::nullopt;
+  const auto second = name.find('.', first + 1);
+  if (second == std::string::npos) return std::nullopt;
+  std::uint64_t pid = 0;
+  try {
+    std::size_t used = 0;
+    const auto field = name.substr(first + 1, second - first - 1);
+    pid = std::stoull(field, &used);
+    if (used != field.size() || pid == 0) return std::nullopt;
+  } catch (...) {
+    return std::nullopt;
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  if (pid == process_id()) return true;
+  // Signal 0 probes existence; EPERM still means "exists".
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH;
+#else
+  return std::nullopt;
+#endif
+}
+
 }  // namespace
+
+std::int64_t disk_store::sweep_tmp() {
+  std::int64_t swept = 0;
+  std::error_code ec;
+  const auto now = fs::file_time_type::clock::now();
+  for (fs::directory_iterator it(root_ / "tmp", ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const auto alive = tmp_writer_alive(it->path().filename().string());
+    bool stale = alive.has_value() && !*alive;  // writer is provably dead
+    if (!stale) {
+      // Live or unknown writer: only the age gate may reclaim it, so an
+      // in-flight put() of a running process is never pulled out from
+      // under the rename.
+      const auto mtime = fs::last_write_time(it->path(), ec);
+      stale = !ec && now - mtime > stale_tmp_age;
+    }
+    if (!stale) continue;
+    std::error_code rm;
+    if (fs::remove(it->path(), rm) && !rm) ++swept;
+  }
+  return swept;
+}
 
 disk_store::disk_store(const std::string& dir) : root_(dir) {
   STX_REQUIRE(!dir.empty(), "disk_store: empty cache directory");
@@ -81,6 +137,12 @@ disk_store::disk_store(const std::string& dir) : root_(dir) {
   fs::create_directories(root_ / "tmp", ec);
   STX_REQUIRE(!ec, "disk_store: cannot create " + (root_ / "tmp").string() +
                        ": " + ec.message());
+  // Reclaim staging files orphaned by crashed/killed writers, so tmp/
+  // cannot grow without bound across daemon restarts.
+  stats_.tmp_swept = sweep_tmp();
+  if (stats_.tmp_swept > 0) {
+    obs::add_counter("store.disk.tmp_swept", stats_.tmp_swept);
+  }
 }
 
 fs::path disk_store::object_path(const cache_key& key) const {

@@ -26,6 +26,10 @@
 //  * Concurrency: safe across threads and across processes (last
 //    complete writer wins; both write identical bytes for the same key
 //    by construction — results are deterministic in the key).
+//  * Self-cleaning: opening the store sweeps tmp/ staging files whose
+//    writer process is provably dead (or that are over an hour old), so
+//    crashes cannot grow the staging area without bound. Swept files are
+//    counted in stats().tmp_swept.
 #pragma once
 
 #include <atomic>
@@ -51,6 +55,9 @@ class disk_store final : public kv_store {
 
  private:
   std::filesystem::path object_path(const cache_key& key) const;
+  /// Removes orphaned tmp/ staging files — writer pid provably dead, or
+  /// older than an hour — and returns how many went (stats().tmp_swept).
+  std::int64_t sweep_tmp();
 
   std::filesystem::path root_;
   std::atomic<std::uint64_t> tmp_seq_{0};

@@ -43,10 +43,14 @@ xbar::flow_options options_for(const sweep_spec& spec,
 
 namespace {
 
-/// Phases 2+ for one point against the cached phase-1 state.
+/// Phases 2+ for one point against the cached phase-1 state. With
+/// `defer_designed`, the designed-configuration simulation is left to the
+/// caller's batched validation pass: the report comes back with the full-
+/// crossbar reference filled but `designed` zeroed.
 sweep_result evaluate_point(const sweep_spec& spec,
                             const workloads::app_spec& app,
-                            const sweep_point& point, trace_cache& cache) {
+                            const sweep_point& point, trace_cache& cache,
+                            bool defer_designed) {
   const auto opts = options_for(spec, point);
   const auto traces = cache.traces(app, opts);
   sweep_result result;
@@ -59,8 +63,27 @@ sweep_result evaluate_point(const sweep_spec& spec,
   } else {
     stages.mode = xbar::validation_mode::skip;
   }
+  if (defer_designed) stages.mode = xbar::validation_mode::skip;
   result.report = xbar::design_from_traces(app, *traces, opts, stages);
+  if (spec.validate && defer_designed && stages.full.has_value()) {
+    result.report.full = *stages.full;
+  }
   return result;
+}
+
+/// Runs `worker(0..threads-1)` on a pool (inline when threads <= 1).
+template <typename Fn>
+void run_workers(int threads, std::size_t num_jobs, const Fn& worker) {
+  const int n = std::min<int>(std::max(threads, 1),
+                              static_cast<int>(num_jobs));
+  if (n <= 1) {
+    worker(0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) pool.emplace_back(worker, t);
+  for (auto& t : pool) t.join();
 }
 
 }  // namespace
@@ -104,6 +127,7 @@ sweep_report run_sweep(const sweep_spec& spec, trace_cache& cache) {
 
   const auto stats_before = cache.stats();
   const auto by_app_before = cache.stats_by_app();
+  const bool batched_validation = spec.validate && spec.batch_size > 1;
   std::vector<sweep_result> results(jobs.size());
   std::vector<std::exception_ptr> errors(jobs.size());
   std::atomic<std::size_t> next{0};
@@ -120,24 +144,84 @@ sweep_report run_sweep(const sweep_spec& spec, trace_cache& cache) {
       ++claimed;
       try {
         obs::span jsp("explore.point", {{"app", jobs[i].app->name}});
-        results[i] = evaluate_point(spec, *jobs[i].app, *jobs[i].point, cache);
+        results[i] = evaluate_point(spec, *jobs[i].app, *jobs[i].point, cache,
+                                    batched_validation);
       } catch (...) {
         errors[i] = std::current_exception();
       }
     }
     wsp.set_attr({"jobs", claimed});
   };
+  run_workers(spec.threads, jobs.size(), worker);
 
-  const int threads = std::min<int>(std::max(spec.threads, 1),
-                                    static_cast<int>(jobs.size()));
-  if (threads <= 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-    for (auto& t : pool) t.join();
+  if (batched_validation) {
+    // ---- Batched phase 4. The synthesis pass above left every report's
+    // `designed` metrics empty; pack same-app design points into cohorts
+    // of spec.batch_size and run each cohort as one lockstep sim::batch.
+    // Per-instance results are independent of cohort membership (and a
+    // batch instance is bit-identical to a session), so the report does
+    // not depend on batch size or on which worker claims which cohort.
+    std::vector<std::vector<std::size_t>> cohorts;
+    const auto width = static_cast<std::size_t>(spec.batch_size);
+    for (std::size_t a = 0; a < num_apps; ++a) {
+      std::vector<std::size_t> eligible;
+      for (std::size_t p = 0; p < num_points; ++p) {
+        const std::size_t i = a * num_points + p;
+        if (errors[i] == nullptr) eligible.push_back(i);
+      }
+      for (std::size_t off = 0; off < eligible.size(); off += width) {
+        const auto end = std::min(eligible.size(), off + width);
+        cohorts.emplace_back(
+            eligible.begin() + static_cast<std::ptrdiff_t>(off),
+            eligible.begin() + static_cast<std::ptrdiff_t>(end));
+      }
+    }
+    std::atomic<std::size_t> next_cohort{0};
+    const auto validate_worker = [&](int) {
+      for (std::size_t c = next_cohort.fetch_add(1); c < cohorts.size();
+           c = next_cohort.fetch_add(1)) {
+        const auto& members = cohorts[c];
+        const auto& app = *jobs[members.front()].app;
+        try {
+          const auto designed_configs = [&](std::size_t i) {
+            const auto opts = options_for(spec, *jobs[i].point);
+            const auto& report = results[i].report;
+            return xbar::validation_job{
+                report.request_design.to_config(opts.policy,
+                                                opts.transfer_overhead),
+                report.response_design.to_config(opts.policy,
+                                                 opts.transfer_overhead),
+                opts};
+          };
+          if (members.size() == 1) {
+            // Odd-shaped straggler: one plain sim::session (identical
+            // result by the batch bit-identity contract, without the
+            // SoA setup cost).
+            const std::size_t i = members.front();
+            const auto vjob = designed_configs(i);
+            results[i].report.designed = xbar::validate_configuration(
+                app, vjob.request, vjob.response, vjob.opts);
+            continue;
+          }
+          std::vector<xbar::validation_job> vjobs;
+          vjobs.reserve(members.size());
+          for (const std::size_t i : members) {
+            vjobs.push_back(designed_configs(i));
+          }
+          const auto metrics = xbar::validate_configurations(app, vjobs);
+          for (std::size_t m = 0; m < members.size(); ++m) {
+            results[members[m]].report.designed = metrics[m];
+          }
+        } catch (...) {
+          for (const std::size_t i : members) {
+            errors[i] = std::current_exception();
+          }
+        }
+      }
+    };
+    run_workers(spec.threads, cohorts.size(), validate_worker);
   }
+
   // Rethrow the first failure in job order (deterministic, like the
   // serial loop would have).
   for (const auto& e : errors) {

@@ -26,13 +26,17 @@ sockaddr_un unix_address(const std::string& path) {
   return addr;
 }
 
-/// Writes all of `data` (+ '\n') to `fd`; false on any error.
+/// Writes all of `data` (+ '\n') to `fd`; false on any error. Sent with
+/// MSG_NOSIGNAL: a client that disconnected mid-response must surface as
+/// EPIPE on this connection's thread, not as a SIGPIPE that kills the
+/// whole daemon.
 bool write_line(int fd, const std::string& data) {
   std::string line = data;
   line.push_back('\n');
   std::size_t off = 0;
   while (off < line.size()) {
-    const auto n = ::write(fd, line.data() + off, line.size() - off);
+    const auto n =
+        ::send(fd, line.data() + off, line.size() - off, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return false;
@@ -42,21 +46,27 @@ bool write_line(int fd, const std::string& data) {
   return true;
 }
 
+/// Outcome of read_line: a line was popped, the peer closed/errored, or
+/// the peer streamed more than max_line_bytes without a newline.
+enum class read_status { line, closed, overflow };
+
 /// Reads from `fd` into `buf` until it holds a full line; pops and
-/// returns it (without the newline). False on EOF/error with no line.
-bool read_line(int fd, std::string& buf, std::string& line) {
+/// returns it (without the newline). A peer that never sends a newline
+/// must not grow `buf` without bound, so lines are capped.
+read_status read_line(int fd, std::string& buf, std::string& line) {
   while (true) {
     const auto nl = buf.find('\n');
     if (nl != std::string::npos) {
       line = buf.substr(0, nl);
       buf.erase(0, nl + 1);
-      return true;
+      return read_status::line;
     }
+    if (buf.size() > max_line_bytes) return read_status::overflow;
     char chunk[4096];
     const auto n = ::read(fd, chunk, sizeof(chunk));
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      return false;
+      return read_status::closed;
     }
     buf.append(chunk, static_cast<std::size_t>(n));
   }
@@ -134,7 +144,16 @@ void server::serve_connection(int fd) {
   obs::add_counter("serve.connections", 1);
   std::string buf, line;
   bool shutdown = false;
-  while (!shutdown && read_line(fd, buf, line)) {
+  while (!shutdown) {
+    const auto status = read_line(fd, buf, line);
+    if (status == read_status::overflow) {
+      obs::add_counter("serve.errors", 1);
+      write_line(fd, serialize_error(
+                         "", "protocol error: line exceeds " +
+                                 std::to_string(max_line_bytes) + " bytes"));
+      break;
+    }
+    if (status != read_status::line) break;
     if (line.empty()) continue;
     if (!write_line(fd, dispatch(line, &shutdown))) break;
   }
@@ -191,7 +210,8 @@ std::vector<std::string> request_lines(const std::string& socket_path,
   std::vector<std::string> responses;
   std::string buf, line;
   for (const auto& l : lines) {
-    if (!write_line(fd, l) || !read_line(fd, buf, line)) {
+    if (!write_line(fd, l) ||
+        read_line(fd, buf, line) != read_status::line) {
       ::close(fd);
       throw invalid_argument_error("client: connection to " + socket_path +
                                    " failed mid-request");

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
 #include <mutex>
 #include <set>
 #include <string>
@@ -15,6 +16,12 @@
 #include "serve/service.h"
 
 namespace stx::serve {
+
+/// Upper bound on one protocol line (request or response), newline
+/// excluded. A client that streams more than this without a newline is
+/// rejected with a protocol error and disconnected — the read buffer
+/// must never grow unboundedly on a misbehaving peer.
+inline constexpr std::size_t max_line_bytes = 1 << 20;
 
 class server {
  public:

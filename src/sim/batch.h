@@ -1,0 +1,320 @@
+// Batched lockstep simulation driver (clODE-style grid integration).
+//
+// A sweep evaluates thousands of (design-point, seed) instances of the
+// *same application shape*: identical programs and endpoint counts, but
+// different crossbar configs, arbitration policies and jitter seeds.
+// Running each as its own sim::session costs one object graph, one
+// calendar queue and one cache-cold walk per instance. The batch driver
+// instead restructures per-component simulator state (cores, buses,
+// targets, arbiter/barrier boards) into a structure-of-arrays
+// `batch_state` — instance-major flat vectors with per-instance base
+// offsets — so one driver steps B instances in lockstep over a shared
+// cycle frontier, and `run_metrics` features (latency sums/maxima, busy
+// cycles, conflict counts) are harvested as observers directly in the
+// batch loop, never materialising traces. The flat layout is the same
+// one a GPU/OpenCL port would upload (clODE keeps observers on-device
+// for exactly this reason); the host driver is the CPU backend of that
+// design, thread-batched by running cohorts on the explore worker pool.
+//
+// Bit-identity contract: instances are mutually independent, so the
+// driver only has to replicate sim::engine's per-instance event order —
+// (cycle, phase, component) keys, the same wake clamping, the same
+// component step semantics and RNG streams — to produce `run_metrics`
+// equal (operator==, including every double) to a sim::session run of
+// the same config. tests/sim/batch_equivalence_test and the testkit
+// "observer-equivalence" invariant pin this the same way the retired
+// polling kernel pinned the event engine.
+//
+// Full-trace collection (phase 1 of the design flow) stays on
+// sim::session: the batch driver refuses record_traces configs, and
+// explore::run_sweep falls back to sessions for trace capture and for
+// odd-shaped straggler cohorts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/core.h"
+#include "sim/event_queue.h"
+#include "sim/system.h"
+#include "sim/session.h"
+
+namespace stx::sim {
+
+/// Flat FIFO: a vector plus a head index. Replaces std::deque in the SoA
+/// state so a drained queue holds no allocation chunks and a GPU port
+/// maps it onto an index pair over a flat pool. Storage is recycled when
+/// the queue drains and compacted when the dead prefix dominates.
+template <typename T>
+class flat_queue {
+ public:
+  bool empty() const { return head_ == items_.size(); }
+  std::size_t size() const { return items_.size() - head_; }
+  void push(const T& v) { items_.push_back(v); }
+  const T& front() const { return items_[head_]; }
+  void pop() {
+    ++head_;
+    if (head_ == items_.size()) {
+      items_.clear();
+      head_ = 0;
+    } else if (head_ >= 64 && head_ * 2 >= items_.size()) {
+      items_.erase(items_.begin(),
+                   items_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+ private:
+  std::vector<T> items_;
+  std::size_t head_ = 0;
+};
+
+/// Observer features beyond run_metrics that the batch loop accumulates
+/// per instance (the congestion/utilisation signals a Pareto consumer or
+/// Eq. 11 check reads without traces).
+struct batch_observers {
+  cycle_t busy_cycles = 0;           ///< both crossbars, all buses
+  std::int64_t delivered_packets = 0;
+  int max_queue_depth = 0;           ///< worst port backlog (conflicts)
+  std::int64_t replies_served = 0;   ///< target replies issued
+
+  bool operator==(const batch_observers&) const = default;
+};
+
+/// The structure-of-arrays simulator state for B instances. Everything
+/// is instance-major: per-core fields live at [b*C + i], per-target
+/// fields at [b*T + t]; per-bus fields use per-instance base offsets
+/// because designed crossbars differ in bus count across the batch.
+/// POD-ish flat vectors throughout — this is the block a device port
+/// would upload wholesale.
+struct batch_state {
+  /// One crossbar direction across every instance of the batch.
+  struct direction {
+    int ports = 0;                   ///< send ports per bus (C or T)
+    std::vector<int> base;           ///< per instance: first global bus
+    std::vector<int> count;          ///< per instance: bus count
+    std::vector<std::vector<int>> binding;  ///< per instance routing
+    std::vector<cycle_t> overhead;   ///< per instance
+    std::vector<arbitration> policy; ///< per instance
+
+    // Per-bus state, [global bus index].
+    std::vector<std::uint8_t> transferring;
+    std::vector<packet> current;
+    std::vector<cycle_t> transfer_end;
+    std::vector<cycle_t> recv_begin;
+    std::vector<cycle_t> busy_from;
+    std::vector<cycle_t> busy_cycles;
+    std::vector<std::int64_t> delivered;
+    std::vector<int> max_depth;
+    std::vector<int> rr_last;        ///< round-robin pointer (-1 = none)
+    std::vector<cycle_t> lrg_last;   ///< [gb*ports + p] last grant (-1)
+    std::vector<int> backlog;        ///< non-empty port queues per bus
+    /// Bit p set when port p's queue is non-empty (valid for ports <=
+    /// 64, which covers every real app shape): the arbiter picks grants
+    /// with bit scans instead of touching one queue header cache line
+    /// per port.
+    std::vector<std::uint64_t> req_mask;
+    std::vector<flat_queue<packet>> queues;  ///< [gb*ports + p]
+
+    // Per-instance latency observers (the crossbar's running_stats,
+    // fed in the exact event order the session feeds them).
+    std::vector<running_stats> latency;
+    std::vector<running_stats> critical;
+
+    int total_buses() const { return static_cast<int>(busy_cycles.size()); }
+  };
+
+  direction request;
+  direction response;
+
+  // Cores, [b*C + i].
+  std::vector<std::uint8_t> core_state;
+  std::vector<std::uint8_t> core_bphase;
+  std::vector<std::uint8_t> core_pending_arrival;
+  std::vector<std::uint32_t> core_pc;
+  std::vector<cycle_t> core_compute_done;
+  std::vector<cycle_t> core_request_issue;
+  std::vector<cycle_t> core_next_poll;
+  std::vector<std::int64_t> core_next_txn;
+  std::vector<std::int64_t> core_wait_txn;
+  std::vector<std::int64_t> core_iterations;
+  std::vector<std::int64_t> core_transactions;
+  std::vector<rng> core_rng;
+  /// Barrier epoch counters, [b*ops_total + visit_base[i] + pc].
+  std::vector<std::int64_t> core_barrier_visits;
+
+  // Targets, [b*T + t].
+  struct target_job {
+    packet request;
+    cycle_t ready_at = 0;
+  };
+  std::vector<flat_queue<target_job>> target_jobs;
+  std::vector<cycle_t> target_busy_until;
+  std::vector<std::int64_t> target_served;
+
+  // Barrier boards, [b].
+  std::vector<std::vector<std::pair<std::int64_t, int>>> board_counts;
+  std::vector<std::int64_t> board_version;
+
+  // Per-instance scalar config (the parts read in the hot loop).
+  std::vector<core_params> cores_cfg;
+  std::vector<target_params> targets_cfg;
+  std::vector<std::uint8_t> keep_samples;
+};
+
+/// Steps B independent system instances of one application shape in
+/// lockstep. Construction fixes the shape (programs, target count, loop
+/// starts — shared across instances, unlike sessions which copy the
+/// programs per run); add_instance() appends one (config, seed) point;
+/// run() advances every instance to the same horizon (resumable, like
+/// mpsoc_system::run). metrics(b) is bit-identical to what a
+/// sim::session over the same config would report.
+class batch {
+ public:
+  /// Same shape contract as mpsoc_system: `programs[i]` drives core i,
+  /// `num_targets` receiving endpoints, optional per-core loop starts.
+  batch(std::vector<std::vector<core_op>> programs, int num_targets,
+        std::vector<std::size_t> loop_starts = {});
+
+  /// Appends one instance; returns its index. The config must not ask
+  /// for traces (trace capture is sim::session's job — see file
+  /// comment); crossbar bindings are validated against the shape.
+  /// Instances can only be added before the first run().
+  int add_instance(const system_config& cfg);
+
+  /// Advances every instance to absolute cycle `horizon` in lockstep
+  /// (callable repeatedly with growing horizons); invalidates cached
+  /// metrics.
+  void run(cycle_t horizon);
+
+  int size() const { return num_instances_; }
+  cycle_t now() const { return now_; }
+  int num_cores() const { return num_cores_; }
+  int num_targets() const { return num_targets_; }
+
+  /// Harvested metrics of instance `b` at the current horizon — the
+  /// same maths as sim::harvest_metrics, fed from the batch observers.
+  const run_metrics& metrics(int b) const;
+
+  /// Extra observer features of instance `b`.
+  batch_observers observers(int b) const;
+
+  /// Event-kernel counters of instance `b` (accumulated across runs).
+  const engine_stats& instance_stats(int b) const;
+  /// Aggregate counters over the whole batch.
+  engine_stats stats() const;
+
+  /// The raw SoA block (introspection/tests; a device port uploads it).
+  const batch_state& state() const { return st_; }
+
+ private:
+  enum : std::uint8_t {
+    st_ready = 0,
+    st_computing = 1,
+    st_waiting = 2,
+  };
+  enum : std::uint8_t {
+    bp_announce = 0,
+    bp_poll_wait = 1,
+    bp_poll_inflight = 2,
+  };
+
+  std::size_t cidx(int b, int i) const {
+    return static_cast<std::size_t>(b) * static_cast<std::size_t>(num_cores_) +
+           static_cast<std::size_t>(i);
+  }
+  std::size_t tidx(int b, int t) const {
+    return static_cast<std::size_t>(b) *
+               static_cast<std::size_t>(num_targets_) +
+           static_cast<std::size_t>(t);
+  }
+  std::size_t vidx(int b, int i, std::size_t pc) const {
+    return static_cast<std::size_t>(b) * ops_total_ + visit_base_[static_cast<std::size_t>(i)] + pc;
+  }
+  int gid(int b, int phase, int comp) const;
+
+  void schedule(int b, int phase, int comp, cycle_t cycle);
+  void seed_instance(int b);
+  void process_event(int b, const event_key& key);
+
+  // Component semantics (exact ports of core/bus/target/engine logic).
+  void core_step(int b, int i, cycle_t now);
+  void core_advance(int b, int i);
+  void core_on_response(int b, int i, const packet& p, cycle_t now);
+  cycle_t core_next_wake(int b, int i, cycle_t earliest) const;
+  void send_request(int b, const packet& p);
+  void send_response(int b, const packet& reply);
+  void board_arrive(int b, int barrier_id, std::int64_t epoch);
+  bool board_open(int b, int barrier_id, std::int64_t epoch,
+                  int group_size) const;
+
+  void bus_enqueue(batch_state::direction& d, int gb, int port,
+                   const packet& p);
+  int arbiter_pick(batch_state::direction& d, int gb, int inst, cycle_t now);
+  bool bus_start_transfer(batch_state::direction& d, int gb, int inst,
+                          cycle_t now);
+  /// bus::wake: returns true when a packet completed this call, filling
+  /// (out, recv_begin, recv_end) — a wake delivers at most one packet.
+  bool bus_wake(batch_state::direction& d, int gb, int inst, cycle_t now,
+                packet& out, cycle_t& rb, cycle_t& re);
+  cycle_t bus_next_wake(const batch_state::direction& d, int gb,
+                        cycle_t earliest) const;
+  bool bus_has_backlog(const batch_state::direction& d, int gb) const;
+  void target_step(int b, int t, cycle_t now);
+  cycle_t target_next_wake(int b, int t, cycle_t earliest) const;
+
+  run_metrics harvest(int b) const;
+
+  // Shared shape.
+  std::vector<std::vector<core_op>> programs_;
+  std::vector<std::size_t> loop_starts_;
+  std::vector<std::size_t> visit_base_;  ///< per core: offset into visits
+  std::size_t ops_total_ = 0;            ///< sum of program lengths
+  int num_cores_ = 0;
+  int num_targets_ = 0;
+  int num_instances_ = 0;
+
+  batch_state st_;
+
+  // Shared scheduling state (host-side calendar; a device port replaces
+  // this with per-cycle stepping over the SoA block). Instead of one
+  // binary heap per instance, every instance shares one bucket calendar
+  // indexed by absolute cycle, and each component carries at most ONE
+  // live wake (its `timer_`): schedule() supersedes later wakes instead
+  // of enqueueing duplicates — a component's post-step re-arm recomputes
+  // anything a dropped wake would have covered, so superseded and
+  // duplicate wakes (no-ops by the component contract) never reach the
+  // dispatch switch at all. Bucket entries pack (instance, phase,
+  // component) into one sortable word; draining a cycle's bucket in
+  // sorted order replays every instance's exact (cycle, phase,
+  // component) event order, which is what keeps metrics bit-identical
+  // to per-instance heaps and to sim::session.
+  /// Calendar ring: bucket `cycle & (ring_size - 1)` holds the wakes of
+  /// `cycle`, valid because no wake is scheduled more than ring_size
+  /// cycles ahead without spilling to overflow_. Buckets keep their
+  /// capacity across cycles and runs, so steady state allocates nothing.
+  std::vector<std::vector<std::uint64_t>> buckets_;
+  /// Far-future wakes (≥ ring_size ahead, e.g. long compute ops),
+  /// min-heap by cycle; merged into the ring bucket when reached.
+  std::vector<std::pair<cycle_t, std::uint64_t>> overflow_;
+  std::vector<cycle_t> timer_;  ///< per component: pending wake cycle
+  std::vector<std::uint64_t> same_cycle_;  ///< min-heap: mid-drain wakes
+  cycle_t ring_head_ = 0;  ///< cycle the drain is at (ring validity base)
+  std::vector<std::uint64_t> ebase_;  ///< [b*4+phase] packed entry base
+  std::vector<int> comp_base_;  ///< per instance: offset into timer_
+  std::vector<cycle_t> last_cycle_;  ///< per instance, stats only
+  std::vector<engine_stats> stats_;
+  int total_comps_ = 0;
+
+  cycle_t now_ = 0;
+  cycle_t start_ = 0;
+  cycle_t horizon_ = 0;
+  event_key cur_{};
+  bool processing_ = false;
+  int cur_instance_ = -1;
+
+  mutable std::vector<std::optional<run_metrics>> cached_;
+};
+
+}  // namespace stx::sim

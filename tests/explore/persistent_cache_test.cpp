@@ -5,7 +5,9 @@
 // hit is bit-identical to the cold computation without running the
 // simulator or the solver.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -113,6 +115,40 @@ TEST(DiskStore, GarbageAndWrongKeyObjectsAreMisses) {
   }
   EXPECT_EQ(store.get(key), std::nullopt);
   EXPECT_EQ(store.stats().corrupt, 2);
+  fs::remove_all(dir);
+}
+
+TEST(DiskStore, OpenSweepsOrphanedStagingFiles) {
+  const auto dir = test_dir("sweep");
+  // Seed the store and plant tmp/ leftovers before reopening:
+  //  * dead-writer: a staging file naming a pid that cannot exist,
+  //  * ancient: a foreign-named file with an hour-old mtime,
+  //  * live-writer: a fresh file naming THIS process (an in-flight put).
+  const auto key = trace_key("mat2", fast_options());
+  { disk_store store(dir.string()); store.put(key, "kept object"); }
+  const auto tmp = dir / "tmp";
+  const auto dead = tmp / "aaaa.999999999.0";  // > pid_max everywhere
+  const auto ancient = tmp / "leftover-from-another-tool";
+  const auto live =
+      tmp / ("bbbb." + std::to_string(::getpid()) + ".7");
+  for (const auto& p : {dead, ancient, live}) {
+    std::ofstream(p, std::ios::binary) << "partial envelope";
+  }
+  fs::last_write_time(ancient,
+                      fs::file_time_type::clock::now() - std::chrono::hours(2));
+
+  disk_store reopened(dir.string());
+  EXPECT_EQ(reopened.stats().tmp_swept, 2);
+  EXPECT_FALSE(fs::exists(dead));     // writer pid provably dead
+  EXPECT_FALSE(fs::exists(ancient));  // unparsable name, age-gated
+  EXPECT_TRUE(fs::exists(live));      // never yank a live writer's file
+  // The sweep touches only tmp/ — published objects are untouched.
+  EXPECT_EQ(reopened.get(key).value(), "kept object");
+
+  // A third open finds only the live-writer file, which stays again.
+  disk_store again(dir.string());
+  EXPECT_EQ(again.stats().tmp_swept, 0);
+  EXPECT_TRUE(fs::exists(live));
   fs::remove_all(dir);
 }
 

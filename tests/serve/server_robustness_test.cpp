@@ -1,0 +1,155 @@
+// Transport hardening regressions: a client that disconnects before its
+// response is written must not SIGPIPE the daemon, and a client that
+// streams bytes without a newline must be rejected with a protocol
+// error instead of growing the read buffer without bound. Both attacks
+// run against a live in-process server, which then must still answer
+// ping on a fresh connection.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "serve/server.h"
+
+namespace stx::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string socket_path(const std::string& name) {
+  const auto p = fs::temp_directory_path() / ("stx-rob-" + name + ".sock");
+  fs::remove(p);
+  return p.string();
+}
+
+/// A raw connected client socket (no protocol helpers, so tests can
+/// misbehave in ways request_lines never would).
+int raw_connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  return fd;
+}
+
+/// send() everything (MSG_NOSIGNAL: the *test* must not die either when
+/// the server rightfully closes on us mid-flood). False once the peer
+/// is gone.
+bool raw_send(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const auto n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads until EOF and returns everything received.
+std::string raw_drain(int fd) {
+  std::string out;
+  char chunk[4096];
+  while (true) {
+    const auto n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return out;
+    out.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+TEST(ServerRobustness, MidResponseDisconnectDoesNotKillTheDaemon) {
+  service::options sopts;
+  sopts.workers = 2;
+  service svc(sopts);
+  server srv(svc, socket_path("sigpipe"));
+  srv.start();
+
+  // Several clients submit a design (the slowest, largest response the
+  // protocol has) and vanish without reading a byte. The response write
+  // then hits a closed peer: before the MSG_NOSIGNAL fix this raised
+  // SIGPIPE and killed the whole process, this test included.
+  for (int k = 0; k < 4; ++k) {
+    const int fd = raw_connect(srv.socket_path());
+    const std::string req =
+        R"({"op":"design","id":"gone)" + std::to_string(k) +
+        R"(","app":"qsort","horizon":8000})" + std::string("\n");
+    ASSERT_TRUE(raw_send(fd, req.data(), req.size()));
+    ::close(fd);  // drop the connection before the response arrives
+  }
+
+  // The daemon is still alive and serving fresh connections.
+  const auto pong =
+      request_line(srv.socket_path(), R"({"op":"ping","id":"alive"})");
+  EXPECT_NE(pong.find("\"op\":\"ping\""), std::string::npos);
+  EXPECT_NE(pong.find("\"id\":\"alive\""), std::string::npos);
+  srv.stop();
+}
+
+TEST(ServerRobustness, NoNewlineFloodIsRejectedWithProtocolError) {
+  service::options sopts;
+  sopts.workers = 1;
+  service svc(sopts);
+  server srv(svc, socket_path("flood"));
+  srv.start();
+
+  // Stream well past the line cap without ever sending a newline. The
+  // server must answer with a protocol error and close — not buffer the
+  // flood forever.
+  const int fd = raw_connect(srv.socket_path());
+  const std::string chunk(64 * 1024, 'x');
+  std::size_t sent = 0;
+  while (sent < max_line_bytes + 2 * chunk.size()) {
+    if (!raw_send(fd, chunk.data(), chunk.size())) break;  // server closed
+    sent += chunk.size();
+  }
+  const auto reply = raw_drain(fd);  // returns at EOF: connection closed
+  ::close(fd);
+  EXPECT_NE(reply.find("\"ok\":false"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("protocol error: line exceeds"), std::string::npos)
+      << reply;
+
+  // Well-formed clients are unaffected afterwards.
+  const auto pong =
+      request_line(srv.socket_path(), R"({"op":"ping","id":"after"})");
+  EXPECT_NE(pong.find("\"op\":\"ping\""), std::string::npos);
+  srv.stop();
+}
+
+TEST(ServerRobustness, LinesUpToTheCapStillParse) {
+  // The cap rejects floods, not big-but-legal requests: a line just
+  // under max_line_bytes still gets a (parse-error) response instead of
+  // a protocol-error disconnect.
+  service::options sopts;
+  sopts.workers = 1;
+  service svc(sopts);
+  server srv(svc, socket_path("cap"));
+  srv.start();
+
+  std::string line(max_line_bytes - 1, 'y');
+  line.push_back('\n');
+  const int fd = raw_connect(srv.socket_path());
+  ASSERT_TRUE(raw_send(fd, line.data(), line.size()));
+  std::string reply;
+  char c = 0;
+  while (::read(fd, &c, 1) == 1 && c != '\n') reply.push_back(c);
+  ::close(fd);
+  EXPECT_NE(reply.find("\"ok\":false"), std::string::npos);
+  EXPECT_EQ(reply.find("protocol error: line exceeds"), std::string::npos)
+      << reply.substr(0, 200);
+  srv.stop();
+}
+
+}  // namespace
+}  // namespace stx::serve

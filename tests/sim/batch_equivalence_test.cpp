@@ -1,0 +1,181 @@
+// Batch-vs-session bit-identity: the lockstep SoA driver must produce
+// run_metrics equal (operator==, every double) to a sim::session over
+// the same config — for every built-in app and for a fuzzed population
+// of testkit scenarios, at several batch sizes. This is the same
+// differential discipline that retired the polling kernel: the session
+// engine is the reference, the batch driver must never diverge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/batch.h"
+#include "sim/session.h"
+#include "testkit/scenario.h"
+#include "util/random.h"
+#include "workloads/app.h"
+#include "workloads/mpsoc_apps.h"
+#include "xbar/flow.h"
+
+namespace stx::sim {
+namespace {
+
+/// Reference metrics: one session per config.
+run_metrics session_metrics(const workloads::app_spec& app,
+                            const system_config& cfg, cycle_t horizon) {
+  auto session =
+      workloads::make_session(app, cfg.request, cfg.response, cfg);
+  session.run(horizon);
+  return session.metrics();
+}
+
+/// Partitions `configs` into batches of `width` instances and checks
+/// every instance against its session reference.
+void expect_batches_match_sessions(const workloads::app_spec& app,
+                                   const std::vector<system_config>& configs,
+                                   cycle_t horizon, int width) {
+  std::vector<run_metrics> reference;
+  reference.reserve(configs.size());
+  for (const auto& cfg : configs) {
+    reference.push_back(session_metrics(app, cfg, horizon));
+  }
+  for (std::size_t off = 0; off < configs.size();
+       off += static_cast<std::size_t>(width)) {
+    const auto end =
+        std::min(configs.size(), off + static_cast<std::size_t>(width));
+    auto batch = workloads::make_batch(app);
+    for (std::size_t i = off; i < end; ++i) {
+      batch.add_instance(configs[i]);
+    }
+    batch.run(horizon);
+    for (std::size_t i = off; i < end; ++i) {
+      EXPECT_TRUE(batch.metrics(static_cast<int>(i - off)) == reference[i])
+          << app.name << " instance " << i << " at batch width " << width;
+    }
+  }
+}
+
+/// The config population of one app: the three STbus instantiation
+/// shapes crossed with arbitration policies and seeds.
+std::vector<system_config> config_population(const workloads::app_spec& app) {
+  std::vector<system_config> out;
+  const arbitration policies[] = {arbitration::round_robin,
+                                  arbitration::fixed_priority,
+                                  arbitration::least_recently_granted};
+  std::uint64_t seed = 1;
+  for (const auto policy : policies) {
+    system_config cfg;
+    cfg.record_traces = false;
+    cfg.seed = seed++;
+
+    cfg.request = crossbar_config::full(app.num_targets);
+    cfg.response = crossbar_config::full(app.num_initiators);
+    cfg.request.policy = cfg.response.policy = policy;
+    out.push_back(cfg);
+
+    cfg.request = crossbar_config::shared(app.num_targets);
+    cfg.response = crossbar_config::shared(app.num_initiators);
+    cfg.request.policy = cfg.response.policy = policy;
+    out.push_back(cfg);
+
+    // A partial binding (two buses, endpoints striped across them).
+    std::vector<int> req_binding(static_cast<std::size_t>(app.num_targets));
+    for (std::size_t e = 0; e < req_binding.size(); ++e) {
+      req_binding[e] = static_cast<int>(e % 2);
+    }
+    std::vector<int> resp_binding(
+        static_cast<std::size_t>(app.num_initiators));
+    for (std::size_t e = 0; e < resp_binding.size(); ++e) {
+      resp_binding[e] = static_cast<int>(e % 2);
+    }
+    cfg.request = crossbar_config::partial(2, req_binding);
+    cfg.response = crossbar_config::partial(2, resp_binding);
+    cfg.request.policy = cfg.response.policy = policy;
+    cfg.request.transfer_overhead = 3;
+    out.push_back(cfg);
+  }
+  return out;
+}
+
+TEST(BatchEquivalence, EveryBuiltinAppMatchesSessions) {
+  for (const auto& name : workloads::app_names()) {
+    const auto app = *workloads::make_app_by_name(name);
+    const auto configs = config_population(app);
+    for (const int width : {1, 4, 32}) {
+      expect_batches_match_sessions(app, configs, 12'000, width);
+    }
+  }
+}
+
+TEST(BatchEquivalence, FortyRandomScenariosMatchSessions) {
+  rng master(2026);
+  for (int k = 0; k < 40; ++k) {
+    rng r = master.split(static_cast<std::uint64_t>(k) + 1);
+    const auto s = testkit::sample_scenario(r);
+    const auto app = s.make_app();
+    const auto horizon = std::min<cycle_t>(s.horizon, 16'000);
+
+    std::vector<system_config> configs;
+    system_config cfg;
+    cfg.record_traces = false;
+    cfg.seed = s.seed;
+    cfg.request = crossbar_config::full(app.num_targets);
+    cfg.response = crossbar_config::full(app.num_initiators);
+    configs.push_back(cfg);
+    cfg.request = crossbar_config::shared(app.num_targets);
+    cfg.response = crossbar_config::shared(app.num_initiators);
+    cfg.request.policy = cfg.response.policy =
+        arbitration::least_recently_granted;
+    configs.push_back(cfg);
+
+    for (const int width : {1, 4, 32}) {
+      expect_batches_match_sessions(app, configs, horizon, width);
+    }
+  }
+}
+
+TEST(BatchEquivalence, BatchedValidationEqualsValidateConfiguration) {
+  // The flow-level entry sweeps actually use: validate_configurations
+  // over synthesised designs must equal per-session validation entries.
+  const auto app = *workloads::make_app_by_name("qsort");
+  xbar::flow_options opts;
+  opts.horizon = 15'000;
+  const auto traces = xbar::collect_traces(app, opts);
+  const auto report = xbar::synthesize_design(app, traces, opts);
+
+  std::vector<xbar::validation_job> jobs;
+  xbar::validation_job designed;
+  designed.request =
+      report.request_design.to_config(opts.policy, opts.transfer_overhead);
+  designed.response =
+      report.response_design.to_config(opts.policy, opts.transfer_overhead);
+  designed.opts = opts;
+  jobs.push_back(designed);
+
+  xbar::validation_job full = designed;
+  full.request = crossbar_config::full(app.num_targets);
+  full.request.policy = opts.policy;
+  full.request.transfer_overhead = opts.transfer_overhead;
+  full.response = crossbar_config::full(app.num_initiators);
+  full.response.policy = opts.policy;
+  full.response.transfer_overhead = opts.transfer_overhead;
+  jobs.push_back(full);
+
+  xbar::validation_job lrg = designed;
+  lrg.opts.policy = arbitration::least_recently_granted;
+  lrg.request.policy = lrg.response.policy = lrg.opts.policy;
+  jobs.push_back(lrg);
+
+  const auto batched = xbar::validate_configurations(app, jobs);
+  ASSERT_EQ(batched.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto reference = xbar::validate_configuration(
+        app, jobs[i].request, jobs[i].response, jobs[i].opts);
+    EXPECT_TRUE(batched[i] == reference) << "job " << i;
+  }
+  // The full-crossbar entry also matches the canonical helper.
+  EXPECT_TRUE(batched[1] == xbar::validate_full_crossbars(app, opts));
+}
+
+}  // namespace
+}  // namespace stx::sim

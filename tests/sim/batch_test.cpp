@@ -1,0 +1,133 @@
+// sim::batch driver basics: construction rules, resumability, observers.
+#include "sim/batch.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "workloads/mpsoc_apps.h"
+
+namespace stx::sim {
+namespace {
+
+system_config full_config(const workloads::app_spec& app,
+                          std::uint64_t seed) {
+  system_config cfg;
+  cfg.request = crossbar_config::full(app.num_targets);
+  cfg.response = crossbar_config::full(app.num_initiators);
+  cfg.record_traces = false;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Batch, RefusesTraceRecordingConfigs) {
+  const auto app = *workloads::make_app_by_name("qsort");
+  auto batch = workloads::make_batch(app);
+  auto cfg = full_config(app, 1);
+  cfg.record_traces = true;
+  EXPECT_THROW(batch.add_instance(cfg), invalid_argument_error);
+}
+
+TEST(Batch, ValidatesCrossbarShapes) {
+  const auto app = *workloads::make_app_by_name("qsort");
+  auto batch = workloads::make_batch(app);
+  auto cfg = full_config(app, 1);
+  cfg.request.binding.push_back(0);  // one endpoint too many
+  EXPECT_THROW(batch.add_instance(cfg), invalid_argument_error);
+}
+
+TEST(Batch, RefusesInstancesAfterTheFirstRun) {
+  const auto app = *workloads::make_app_by_name("qsort");
+  auto batch = workloads::make_batch(app);
+  batch.add_instance(full_config(app, 1));
+  batch.run(1'000);
+  EXPECT_THROW(batch.add_instance(full_config(app, 2)),
+               invalid_argument_error);
+}
+
+TEST(Batch, SegmentedRunsMatchOneLongRun) {
+  const auto app = *workloads::make_app_by_name("mat1");
+  auto one = workloads::make_batch(app);
+  one.add_instance(full_config(app, 7));
+  one.run(20'000);
+
+  auto segmented = workloads::make_batch(app);
+  segmented.add_instance(full_config(app, 7));
+  segmented.run(4'000);
+  segmented.run(9'000);
+  segmented.run(20'000);
+
+  EXPECT_TRUE(one.metrics(0) == segmented.metrics(0));
+  EXPECT_TRUE(one.observers(0) == segmented.observers(0));
+  EXPECT_EQ(segmented.now(), 20'000);
+}
+
+TEST(Batch, ObserversMatchTheSessionSystemCounters) {
+  const auto app = *workloads::make_app_by_name("qsort");
+  auto batch = workloads::make_batch(app);
+  batch.add_instance(full_config(app, 3));
+  batch.run(15'000);
+
+  auto session = workloads::make_full_crossbar_session(app, full_config(app, 3));
+  session.run(15'000);
+
+  const auto obs = batch.observers(0);
+  cycle_t busy = 0;
+  std::int64_t delivered = 0;
+  int depth = 0;
+  std::int64_t served = 0;
+  const auto& sys = session.system();
+  for (const auto* xb : {&sys.request_crossbar(), &sys.response_crossbar()}) {
+    for (int k = 0; k < xb->num_buses(); ++k) {
+      busy += xb->bus_at(k).busy_cycles();
+      delivered += xb->bus_at(k).delivered_packets();
+      depth = std::max(depth, xb->bus_at(k).max_queue_depth());
+    }
+  }
+  for (int t = 0; t < sys.num_targets(); ++t) {
+    served += sys.target_at(t).served();
+  }
+  EXPECT_EQ(obs.busy_cycles, busy);
+  EXPECT_EQ(obs.delivered_packets, delivered);
+  EXPECT_EQ(obs.max_queue_depth, depth);
+  EXPECT_EQ(obs.replies_served, served);
+}
+
+TEST(Batch, MixedInstancesDoNotInterfere) {
+  // One batch holding different seeds and shapes must reproduce the
+  // exact metrics of each instance simulated alone.
+  const auto app = *workloads::make_app_by_name("qsort");
+  auto cfg_a = full_config(app, 11);
+  auto cfg_b = full_config(app, 12);
+  cfg_b.request = crossbar_config::shared(app.num_targets);
+  auto cfg_c = full_config(app, 13);
+  cfg_c.request.policy = arbitration::least_recently_granted;
+  cfg_c.response.policy = arbitration::fixed_priority;
+
+  auto mixed = workloads::make_batch(app);
+  mixed.add_instance(cfg_a);
+  mixed.add_instance(cfg_b);
+  mixed.add_instance(cfg_c);
+  mixed.run(12'000);
+
+  int b = 0;
+  for (const auto& cfg : {cfg_a, cfg_b, cfg_c}) {
+    auto solo = workloads::make_batch(app);
+    solo.add_instance(cfg);
+    solo.run(12'000);
+    EXPECT_TRUE(mixed.metrics(b) == solo.metrics(0)) << "instance " << b;
+    EXPECT_TRUE(mixed.observers(b) == solo.observers(0)) << "instance " << b;
+    ++b;
+  }
+}
+
+TEST(Batch, InstanceIndexOutOfRangeThrows) {
+  const auto app = *workloads::make_app_by_name("qsort");
+  auto batch = workloads::make_batch(app);
+  batch.add_instance(full_config(app, 1));
+  batch.run(100);
+  EXPECT_THROW(batch.metrics(1), invalid_argument_error);
+  EXPECT_THROW(batch.observers(-1), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace stx::sim
