@@ -1,28 +1,37 @@
-// Ablation (ours): the MILP solver pipeline, warm-started incremental
+// Ablation (ours): the MILP solver pipeline — wave-parallel warm-started
 // branch & bound (revised simplex, parent-basis dual re-solves,
-// best-bound + pseudocost search) versus the legacy cold path that
-// re-solves the full two-phase tableau LP at every node. Both engines
-// are exact and must agree on every instance — the bench refuses to
-// report a diverged pair — so the numbers measure pure solver speed on
-// the paper's Eq. 3-9 / Eq. 11 binding models, built from the real
-// phase-1 traces of every built-in application plus random testkit
-// scenarios. This is the fast path that PR 5 adds; BENCH_solver.json is
-// the perf trajectory CI uploads (mirror of BENCH_sim.json).
+// best-bound + pseudocost search, root cover/clique cuts) measured
+// across worker thread counts and with the cut layer switched off. The
+// engine is deterministically parallel: every thread count must return a
+// bit-identical bb_result — the bench refuses to report a diverged set —
+// so the per-thread rows measure pure wall-clock scaling on the paper's
+// Eq. 11 binding models (built-in apps + random testkit scenarios) and
+// on the big_fabric solver-scaling family's compact Eq. 3-9 feasibility
+// models (32x32 / 64x64, far beyond the paper's 15 targets).
+// BENCH_solver.json is the perf trajectory CI uploads (mirror of
+// BENCH_sim.json).
 //
-//   $ ./ablation_solver [--horizon=30000] [--repeats=3] [--scenarios=4]
-//                       [--max-targets=10] [--json=BENCH_solver.json]
+//   $ ./ablation_solver [--horizon=8000] [--repeats=3] [--scenarios=4]
+//                       [--max-targets=12] [--threads=1,2,8]
+//                       [--big-fabric=1] [--json=BENCH_solver.json]
 //
-// JSON schema `stx-bench-solver/v1`:
-//   {results: [{instance, targets, buses, variables, rows,
-//               warm:  {nodes, lp_iterations, wall_seconds,
-//                       median_wall_seconds, solves_per_second,
-//                       warm_solves, cold_solves},
-//               cold:  {nodes, lp_iterations, wall_seconds,
-//                       median_wall_seconds, solves_per_second},
-//               speedup_lp_iterations, speedup_wall}],
-//    summary: {instances, total_warm_lp_iterations,
-//              total_cold_lp_iterations, lp_iteration_speedup,
-//              wall_speedup}}
+// Defaults keep every binding instance tractable: mat1 (13 targets) and
+// fft (15) build Eq. 11 models whose node LPs run minutes-per-thousand
+// nodes — they are skipped (and reported) at max-targets=12, and every
+// measured solve carries a node budget (20k for binding rows, tighter
+// for the big_fabric family, see `instance::max_nodes`) so a
+// pathological instance turns into a `limit` row instead of a hung
+// bench.
+//
+// JSON schema `stx-bench-solver/v2`:
+//   {results: [{instance, kind, targets, buses, variables, rows,
+//               status, max_nodes, nodes, lp_iterations, cuts_added, waves,
+//               threads: [{threads, wall_seconds, median_wall_seconds,
+//                          solves_per_second}],
+//               no_cuts: {nodes, lp_iterations},
+//               speedup_wall_max_threads, node_ratio_cuts}],
+//    summary: {instances, wall_speedup_max_threads,
+//              total_nodes_with_cuts, total_nodes_without_cuts}}
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -34,8 +43,11 @@
 #include "gen/json.h"
 #include "milp/branch_bound.h"
 #include "testkit/scenario.h"
+#include "util/error.h"
 #include "util/random.h"
+#include "util/strings.h"
 #include "util/table.h"
+#include "workloads/big_fabric.h"
 #include "workloads/mpsoc_apps.h"
 #include "xbar/bb_solver.h"
 #include "xbar/flow.h"
@@ -48,58 +60,95 @@ using namespace stx;
 
 struct instance {
   std::string name;
-  xbar::synthesis_input input;
+  std::string kind;  ///< "binding" (Eq. 11) or "feasibility" (Eq. 3-9)
+  milp::model model;
+  int targets = 0;
   int buses = 0;
+  /// Node budget for this instance's solves. The binding models finish
+  /// well under the default; the big_fabric family sits deliberately
+  /// near the infeasibility boundary where the full default budget runs
+  /// for tens of minutes at tens of ms per node — its rows measure a
+  /// fixed, deterministic slice of that tree instead (a `limit` status
+  /// is expected and fine: identical work at every thread count is what
+  /// the scaling rows need).
+  int max_nodes = 20'000;
 };
 
-/// Phase 1-3 for one app at the bench settings: trace collection, window
-/// analysis, pre-processing, minimum bus count (specialised solver — not
-/// what is being measured), yielding the request-direction Eq. 11 model.
-instance make_app_instance(const std::string& name,
-                           const workloads::app_spec& app,
-                           traffic::cycle_t horizon) {
-  xbar::flow_options opts = bench::default_flow();
-  opts.horizon = horizon;
-  const auto traces = xbar::collect_traces(app, opts);
-  auto input = xbar::input_from_trace(traces.request, opts.synth.params);
-  xbar::synthesis_options so;
-  so.params = opts.synth.params;
-  const int buses = xbar::min_feasible_buses(input, so);
-  return {name, std::move(input), buses};
+/// Bus count of a big_fabric feasibility instance: 25% slack over the
+/// solver's combinatorial lower bound (bandwidth + cardinality +
+/// conflict clique). Scanning for the exact first-SAT boundary is a
+/// trap here — every near-boundary probe burns its whole node budget at
+/// tens of milliseconds per node proving nothing (and the specialised
+/// DFS thrashes outright on this family; that is the portfolio-mode
+/// motivation). The scaling rows only need a deterministic hard
+/// instance: at this slack the model sits near the infeasibility
+/// boundary, and whether the capped solve ends `feasible` or `limit`,
+/// every thread count does bit-identical work — which is exactly what
+/// the rows measure.
+int big_fabric_buses(const xbar::synthesis_input& input) {
+  const int lb = xbar::lower_bound_buses(input);
+  const int b = lb + (lb + 3) / 4;
+  STX_ENSURE(b <= input.num_targets(), "slack bus count exceeds targets");
+  return b;
 }
 
-instance make_scenario_instance(std::uint64_t seed) {
-  rng r(seed);
-  auto sc = testkit::sample_scenario(r);
-  sc.horizon = std::min<traffic::cycle_t>(sc.horizon, 20'000);
-  const auto app = sc.make_app();
-  const auto opts = sc.make_flow_options();
+/// Phase 1-3 for one app at the bench settings: trace collection, window
+/// analysis, pre-processing, bus count (specialised solver for the small
+/// binding instances, generic-MILP scan for the big_fabric family — not
+/// what is being measured either way), yielding the request-direction
+/// model.
+instance make_instance(const std::string& name,
+                       const workloads::app_spec& app,
+                       const xbar::flow_options& opts, bool binding) {
   const auto traces = xbar::collect_traces(app, opts);
-  auto input = xbar::input_from_trace(
+  const auto input = xbar::input_from_trace(
       traces.request, xbar::effective_synthesis_params(opts, true));
-  xbar::synthesis_options so;
-  so.params = input.params();
-  const int buses = xbar::min_feasible_buses(input, so);
-  return {sc.name(), std::move(input), buses};
+  int buses = 0;
+  if (binding) {
+    xbar::synthesis_options so;
+    so.params = input.params();
+    buses = xbar::min_feasible_buses(input, so);
+  } else {
+    buses = big_fabric_buses(input);
+  }
+  instance out;
+  out.name = name;
+  out.kind = binding ? "binding" : "feasibility";
+  out.model = binding ? xbar::build_binding_milp(input, buses).model
+                      : xbar::build_feasibility_milp(input, buses).model;
+  out.targets = input.num_targets();
+  out.buses = buses;
+  return out;
+}
+
+milp::bb_options solver_options(int threads, bool cuts, bool feasibility,
+                                int max_nodes) {
+  milp::bb_options opts;
+  // Node budgets only: with the default 120s wall clock, a loaded CI
+  // runner could time a solve out into status `limit`, and a fired wall
+  // limit is the one thing that breaks thread-count bit-identity. A
+  // node cap bounds a pathological instance deterministically — a
+  // `limit` row still measures identical work at every thread count.
+  opts.time_limit_sec = 0.0;
+  opts.max_nodes = max_nodes;
+  opts.threads = threads;
+  opts.cuts = cuts;
+  opts.feasibility_only = feasibility;
+  return opts;
 }
 
 struct measurement {
   milp::bb_result result;
-  double wall_seconds = 0.0;         ///< minimum over the repeats
+  double wall_seconds = 0.0;  ///< minimum over the repeats
   double median_wall_seconds = 0.0;
 };
 
-measurement solve_best_of(const milp::model& m, bool warm, int repeats) {
-  milp::bb_options opts;
-  opts.warm_start = warm;
-  // Node budgets only: with the default 120s wall clock, a loaded CI
-  // runner could time a cold solve out into status `limit` and the
-  // divergence check would misread machine speed as an engine bug.
-  opts.time_limit_sec = 0.0;
+measurement solve_best_of(const milp::model& m, const milp::bb_options& opts,
+                          int repeats) {
   measurement best;
   const auto acc = bench::time_reps(repeats, [&](int) {
     obs::stopwatch sw;
-    // Both engines are deterministic: every repeat produces the same
+    // The engine is deterministic: every repeat produces the same
     // result, so keeping the last is keeping them all.
     best.result = milp::solve_branch_bound(m, opts);
     return sw.seconds();
@@ -109,136 +158,204 @@ measurement solve_best_of(const milp::model& m, bool warm, int repeats) {
   return best;
 }
 
+bool results_identical(const milp::bb_result& a, const milp::bb_result& b) {
+  return a.status == b.status && a.objective == b.objective && a.x == b.x &&
+         a.nodes == b.nodes && a.lp_iterations == b.lp_iterations &&
+         a.best_bound == b.best_bound && a.warm_solves == b.warm_solves &&
+         a.cold_solves == b.cold_solves && a.cuts_added == b.cuts_added &&
+         a.waves == b.waves;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const flag_set flags(argc, argv);
-  bench::require_known_flags(
-      flags, {"horizon", "repeats", "scenarios", "max-targets", "json"});
-  const traffic::cycle_t horizon = flags.get_int("horizon", 30'000);
+  bench::require_known_flags(flags, {"horizon", "repeats", "scenarios",
+                                     "max-targets", "threads", "big-fabric",
+                                     "json"});
+  const traffic::cycle_t horizon = flags.get_int("horizon", 8'000);
   const int repeats = static_cast<int>(flags.get_int("repeats", 3));
   const int scenarios = static_cast<int>(flags.get_int("scenarios", 4));
-  const int max_targets = static_cast<int>(flags.get_int("max-targets", 10));
+  const int max_targets = static_cast<int>(flags.get_int("max-targets", 12));
+  const bool big_fabric = flags.get_int("big-fabric", 1) != 0;
+  std::vector<int> thread_counts;
+  for (const auto& tok :
+       split_list(flags.get_string("threads", "1,2,8"))) {
+    thread_counts.push_back(std::atoi(tok.c_str()));
+  }
+  if (thread_counts.empty() || thread_counts.front() != 1) {
+    thread_counts.insert(thread_counts.begin(), 1);  // baseline is 1 thread
+  }
   bench::print_header(
-      "Ablation — MILP solver, warm-started incremental B&B vs cold path",
-      "Eq. 11 binding models from phase-1 traces, horizon " +
+      "Ablation — MILP solver: wave-parallel scaling + root cut layer",
+      "binding models (apps/scenarios) + big_fabric feasibility, horizon " +
           std::to_string(horizon) + ", best of " + std::to_string(repeats));
 
   std::vector<instance> instances;
+  std::vector<std::pair<std::string, workloads::app_spec>> apps;
   for (const auto& name : workloads::app_names()) {
-    instances.push_back(
-        make_app_instance(name, *workloads::make_app_by_name(name), horizon));
+    apps.emplace_back(name, *workloads::make_app_by_name(name));
   }
-  for (int s = 0; s < scenarios; ++s) {
-    instances.push_back(
-        make_scenario_instance(0xB0B5'0000ull + static_cast<unsigned>(s)));
-  }
-
-  table t({"Instance", "T", "B", "Warm nodes", "Cold nodes", "Warm LP it",
-           "Cold LP it", "Warm (s)", "Cold (s)", "LP-it x", "Wall x"});
-  gen::json::array results;
-  int divergences = 0;
   int skipped = 0;
-  std::int64_t total_warm_it = 0, total_cold_it = 0;
-  double total_warm_s = 0.0, total_cold_s = 0.0;
-  for (const auto& inst : instances) {
-    if (inst.input.num_targets() > max_targets) {
-      // No silent caps: the legacy cold path is what makes big models
-      // intractable — say what was dropped instead of hiding it.
-      std::printf("skipping %s (%d targets > --max-targets=%d)\n",
-                  inst.name.c_str(), inst.input.num_targets(), max_targets);
+  for (const auto& [name, app] : apps) {
+    xbar::flow_options opts = bench::default_flow();
+    opts.horizon = horizon;
+    if (app.num_targets > max_targets) {
+      // No silent caps: say what was dropped instead of hiding it.
+      std::printf("skipping %s binding model (%d targets > %d)\n",
+                  name.c_str(), app.num_targets, max_targets);
       ++skipped;
       continue;
     }
-    const auto bm = xbar::build_binding_milp(inst.input, inst.buses);
-    const auto warm = solve_best_of(bm.model, /*warm=*/true, repeats);
-    const auto cold = solve_best_of(bm.model, /*warm=*/false, repeats);
-    if (warm.result.status != cold.result.status ||
-        (warm.result.status == milp::milp_status::optimal &&
-         std::abs(warm.result.objective - cold.result.objective) > 1e-5)) {
-      std::fprintf(stderr,
-                   "bench: engines diverged on %s (warm %s obj %.6f, cold "
-                   "%s obj %.6f)\n",
-                   inst.name.c_str(), milp::to_string(warm.result.status),
-                   warm.result.objective, milp::to_string(cold.result.status),
-                   cold.result.objective);
-      ++divergences;
+    instances.push_back(make_instance(name, app, opts, /*binding=*/true));
+  }
+  for (int s = 0; s < scenarios; ++s) {
+    rng r(0xB0B5'0000ull + static_cast<unsigned>(s));
+    auto sc = testkit::sample_scenario(r);
+    sc.horizon = std::min<traffic::cycle_t>(sc.horizon, 12'000);
+    if (sc.num_targets > max_targets) {
+      ++skipped;
       continue;
     }
-    total_warm_it += warm.result.lp_iterations;
-    total_cold_it += cold.result.lp_iterations;
-    total_warm_s += warm.wall_seconds;
-    total_cold_s += cold.wall_seconds;
-    const double it_speedup =
-        static_cast<double>(cold.result.lp_iterations) /
-        static_cast<double>(std::max<std::int64_t>(
-            1, warm.result.lp_iterations));
-    const double wall_speedup = cold.wall_seconds / warm.wall_seconds;
+    instances.push_back(make_instance(sc.name(), sc.make_app(),
+                                      sc.make_flow_options(),
+                                      /*binding=*/true));
+  }
+  if (big_fabric) {
+    // The solver-scaling family: feasibility models only (the Eq. 11
+    // objective's sharing variables would dwarf solve time with build
+    // size at 64x64 — and feasibility probes are what the flow's binary
+    // search actually spends its time on).
+    xbar::flow_options opts = bench::default_flow();
+    // Fixed horizon: the solver-scaling family is DEFINED at 8k cycles
+    // so its rows stay comparable across runs whatever --horizon says.
+    // (At 20k the denser conflict graph pushes the 64x64 LP to ~1.7s
+    // per node — the family should measure tree parallelism, not one
+    // giant LP.)
+    opts.horizon = 8'000;
+    auto bf32 = make_instance("big_fabric_32",
+                              workloads::make_big_fabric_32(), opts,
+                              /*binding=*/false);
+    bf32.max_nodes = 2'000;
+    instances.push_back(std::move(bf32));
+    auto bf64 = make_instance("big_fabric_64",
+                              workloads::make_big_fabric_64(), opts,
+                              /*binding=*/false);
+    bf64.max_nodes = 1'000;
+    instances.push_back(std::move(bf64));
+  }
+
+  table t({"Instance", "Kind", "T", "B", "Nodes", "Cuts", "LP it",
+           "1t (s)", "max-t (s)", "Wall x", "No-cut nodes"});
+  gen::json::array results;
+  int divergences = 0;
+  double total_base_s = 0.0, total_fast_s = 0.0;
+  std::int64_t total_nodes_cuts = 0, total_nodes_nocuts = 0;
+  for (const auto& inst : instances) {
+    const bool feas = inst.kind == "feasibility";
+    std::printf("solving %s (%s, T=%d, B=%d)...\n", inst.name.c_str(),
+                inst.kind.c_str(), inst.targets, inst.buses);
+    std::fflush(stdout);
+    std::vector<measurement> per_thread;
+    for (const int threads : thread_counts) {
+      per_thread.push_back(solve_best_of(
+          inst.model, solver_options(threads, true, feas, inst.max_nodes),
+          repeats));
+      if (!results_identical(per_thread.front().result,
+                             per_thread.back().result)) {
+        std::fprintf(stderr,
+                     "bench: DETERMINISM VIOLATION on %s: %d threads "
+                     "diverged from 1 thread\n",
+                     inst.name.c_str(), threads);
+        ++divergences;
+      }
+    }
+    // Cut ablation at 1 thread (identical across thread counts anyway).
+    const auto no_cuts = solve_best_of(
+        inst.model, solver_options(1, false, feas, inst.max_nodes), repeats);
+
+    const auto& base = per_thread.front();
+    const auto& fast = per_thread.back();
+    total_base_s += base.wall_seconds;
+    total_fast_s += fast.wall_seconds;
+    total_nodes_cuts += base.result.nodes;
+    total_nodes_nocuts += no_cuts.result.nodes;
+    const double wall_speedup = base.wall_seconds / fast.wall_seconds;
     t.cell(inst.name)
-        .cell(static_cast<std::int64_t>(inst.input.num_targets()))
+        .cell(inst.kind)
+        .cell(static_cast<std::int64_t>(inst.targets))
         .cell(static_cast<std::int64_t>(inst.buses))
-        .cell(warm.result.nodes)
-        .cell(cold.result.nodes)
-        .cell(warm.result.lp_iterations)
-        .cell(cold.result.lp_iterations)
-        .cell(warm.wall_seconds, 4)
-        .cell(cold.wall_seconds, 4)
-        .cell(it_speedup, 2)
+        .cell(base.result.nodes)
+        .cell(base.result.cuts_added)
+        .cell(base.result.lp_iterations)
+        .cell(base.wall_seconds, 4)
+        .cell(fast.wall_seconds, 4)
         .cell(wall_speedup, 2)
+        .cell(no_cuts.result.nodes)
         .end_row();
-    const auto engine_json = [](const measurement& m) {
-      return gen::json::object{
-          {"nodes", m.result.nodes},
-          {"lp_iterations", m.result.lp_iterations},
-          {"wall_seconds", m.wall_seconds},
-          {"median_wall_seconds", m.median_wall_seconds},
+
+    gen::json::array thread_rows;
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+      thread_rows.push_back(gen::json::object{
+          {"threads", static_cast<std::int64_t>(
+                          thread_counts[i])},
+          {"wall_seconds", per_thread[i].wall_seconds},
+          {"median_wall_seconds", per_thread[i].median_wall_seconds},
           {"solves_per_second",
-           static_cast<double>(m.result.nodes) / m.wall_seconds},
-          {"warm_solves", m.result.warm_solves},
-          {"cold_solves", m.result.cold_solves},
-      };
-    };
+           static_cast<double>(per_thread[i].result.nodes) /
+               per_thread[i].wall_seconds},
+      });
+    }
     results.push_back(gen::json::object{
         {"instance", inst.name},
-        {"targets", static_cast<std::int64_t>(inst.input.num_targets())},
+        {"kind", inst.kind},
+        {"targets", static_cast<std::int64_t>(inst.targets)},
         {"buses", static_cast<std::int64_t>(inst.buses)},
-        {"variables", static_cast<std::int64_t>(bm.model.num_variables())},
-        {"rows", static_cast<std::int64_t>(bm.model.num_rows())},
-        {"warm", engine_json(warm)},
-        {"cold", engine_json(cold)},
-        {"speedup_lp_iterations", it_speedup},
-        {"speedup_wall", wall_speedup},
+        {"variables",
+         static_cast<std::int64_t>(inst.model.num_variables())},
+        {"rows", static_cast<std::int64_t>(inst.model.num_rows())},
+        {"status", std::string(milp::to_string(base.result.status))},
+        {"max_nodes", static_cast<std::int64_t>(inst.max_nodes)},
+        {"nodes", base.result.nodes},
+        {"lp_iterations", base.result.lp_iterations},
+        {"cuts_added", base.result.cuts_added},
+        {"waves", base.result.waves},
+        {"threads", std::move(thread_rows)},
+        {"no_cuts", gen::json::object{
+                        {"nodes", no_cuts.result.nodes},
+                        {"lp_iterations", no_cuts.result.lp_iterations},
+                    }},
+        {"speedup_wall_max_threads", wall_speedup},
+        {"node_ratio_cuts",
+         static_cast<double>(base.result.nodes) /
+             static_cast<double>(
+                 std::max<std::int64_t>(1, no_cuts.result.nodes))},
     });
   }
   std::printf("%s", t.render().c_str());
-  const double sum_it_speedup =
-      static_cast<double>(total_cold_it) /
-      static_cast<double>(std::max<std::int64_t>(1, total_warm_it));
-  const double sum_wall_speedup =
-      total_cold_s / std::max(total_warm_s, 1e-9);
+  const double sum_speedup = total_base_s / std::max(total_fast_s, 1e-9);
   std::printf(
-      "\ntotal: %lld warm vs %lld cold LP iterations (%.2fx), "
-      "%.3fs vs %.3fs wall (%.2fx)\n",
-      static_cast<long long>(total_warm_it),
-      static_cast<long long>(total_cold_it), sum_it_speedup, total_warm_s,
-      total_cold_s, sum_wall_speedup);
+      "\ntotal: %.3fs at 1 thread vs %.3fs at %d threads (%.2fx); "
+      "%lld nodes with cuts vs %lld without\n",
+      total_base_s, total_fast_s, thread_counts.back(), sum_speedup,
+      static_cast<long long>(total_nodes_cuts),
+      static_cast<long long>(total_nodes_nocuts));
 
   const auto json_path = flags.get_string("json", "");
   if (!json_path.empty()) {
-    const auto reported = static_cast<std::int64_t>(results.size());
     const gen::json::value doc = gen::json::object{
-        {"schema", "stx-bench-solver/v1"},
+        {"schema", "stx-bench-solver/v2"},
         {"horizon", static_cast<std::int64_t>(horizon)},
         {"repeats", repeats},
+        {"max_threads", static_cast<std::int64_t>(thread_counts.back())},
         {"results", std::move(results)},
         {"summary",
          gen::json::object{
-             {"instances", reported},
+             {"instances", static_cast<std::int64_t>(instances.size())},
              {"skipped", static_cast<std::int64_t>(skipped)},
-             {"total_warm_lp_iterations", total_warm_it},
-             {"total_cold_lp_iterations", total_cold_it},
-             {"lp_iteration_speedup", sum_it_speedup},
-             {"wall_speedup", sum_wall_speedup},
+             {"wall_speedup_max_threads", sum_speedup},
+             {"total_nodes_with_cuts", total_nodes_cuts},
+             {"total_nodes_without_cuts", total_nodes_nocuts},
          }},
     };
     std::ofstream out(json_path);

@@ -12,12 +12,13 @@
 
 namespace stx::cli {
 
-/// Parses the solver search budgets (--solver-node-limit,
-/// --solver-time-ms) into `limits`. Throws invalid_argument_error on a
-/// malformed or out-of-range value (node limit < 1, negative time) —
-/// each driver catches, prints its usage and exits 2: a typo'd budget
-/// must never silently run with the default. One definition serves both
-/// CLIs so the validation contract cannot drift between them.
+/// Parses the solver knobs (--solver-node-limit, --solver-time-ms,
+/// --solver-threads, --solver-cuts, --solver-portfolio) into `limits`.
+/// Throws invalid_argument_error on a malformed or out-of-range value
+/// (node limit < 1, negative time, threads < 1) — each driver catches,
+/// prints its usage and exits 2: a typo'd budget must never silently run
+/// with the default. One definition serves all the CLIs so the
+/// validation contract cannot drift between them.
 inline void apply_solver_budget_flags(const flag_set& flags,
                                       xbar::solver_options* limits) {
   const std::int64_t nodes =
@@ -31,8 +32,26 @@ inline void apply_solver_budget_flags(const flag_set& flags,
   if (time_ms < 0) {
     throw invalid_argument_error("--solver-time-ms must be >= 0");
   }
+  const std::int64_t threads =
+      flags.get_int("solver-threads", limits->threads);
+  if (threads < 1) {
+    throw invalid_argument_error("--solver-threads must be >= 1");
+  }
   limits->max_nodes = nodes;
   limits->time_limit_sec = static_cast<double>(time_ms) / 1000.0;
+  limits->threads = static_cast<int>(threads);
+  limits->cuts = flags.get_bool("solver-cuts", limits->cuts);
+  limits->portfolio = flags.get_bool("solver-portfolio", limits->portfolio);
+}
+
+/// Parses --cache-max-bytes (the disk_store eviction cap; 0 = unlimited)
+/// with the same reject-don't-default contract as the solver knobs.
+inline std::uint64_t cache_max_bytes_flag(const flag_set& flags) {
+  const std::int64_t cap = flags.get_int("cache-max-bytes", 0);
+  if (cap < 0) {
+    throw invalid_argument_error("--cache-max-bytes must be >= 0");
+  }
+  return static_cast<std::uint64_t>(cap);
 }
 
 /// The --trace-out / --metrics-out contract shared by all three CLIs:

@@ -47,6 +47,8 @@ void print_usage(std::FILE* to) {
       "                      MILP solver (true)\n"
       "  --cache-dir=DIR     persistent phase-1 trace store shared with\n"
       "                      xbargen / xbar-sweep / xbar-serve\n"
+      "  --cache-max-bytes=N evict oldest-accessed store entries over\n"
+      "                      this cap at open (0 = unlimited)\n"
       "  --trace-out=FILE    write a Chrome/Perfetto trace of the run\n"
       "  --metrics-out=FILE  write an stx-metrics/v1 counter snapshot\n");
 }
@@ -55,7 +57,7 @@ const std::vector<std::string> kKnownFlags = {
     "runs",           "seed",          "shrink",       "json",
     "scenario",       "regen-goldens", "latency-factor",
     "latency-slack",  "solver-check",  "help",
-    "cache-dir",      "trace-out",     "metrics-out",
+    "cache-dir",      "cache-max-bytes", "trace-out", "metrics-out",
 };
 
 /// The optional persistent phase-1 cache behind --cache-dir; (nullptr
@@ -67,7 +69,8 @@ struct fuzz_cache {
   explicit fuzz_cache(const flag_set& flags) {
     const auto dir = flags.get_string("cache-dir", "");
     if (dir.empty()) return;
-    store = std::make_shared<explore::disk_store>(dir);
+    store = std::make_shared<explore::disk_store>(
+        dir, cli::cache_max_bytes_flag(flags));
     cache = std::make_unique<explore::trace_cache>(store);
   }
 };

@@ -42,12 +42,15 @@ void print_usage(std::FILE* to) {
       "  --queue=N         admission queue depth (64)\n"
       "  --cache-dir=DIR   persistent result store shared with the\n"
       "                    other CLIs (default: in-memory only)\n"
+      "  --cache-max-bytes=N  evict oldest-accessed store entries over\n"
+      "                    this cap at open (0 = unlimited)\n"
       "  --client=REQUEST  send one JSON request line and print the\n"
       "                    response instead of serving\n");
 }
 
 const std::vector<std::string> kKnownFlags = {
-    "socket", "workers", "queue", "cache-dir", "client", "help",
+    "socket", "workers", "queue", "cache-dir", "cache-max-bytes", "client",
+    "help",
 };
 
 int run_client(const std::string& socket_path, const std::string& line) {
@@ -62,6 +65,12 @@ int run_daemon(const flag_set& flags, const std::string& socket_path) {
   sopts.workers = static_cast<int>(flags.get_int("workers", 2));
   sopts.queue_depth = static_cast<int>(flags.get_int("queue", 64));
   sopts.cache_dir = flags.get_string("cache-dir", "");
+  const std::int64_t cache_cap = flags.get_int("cache-max-bytes", 0);
+  if (cache_cap < 0) {
+    std::fprintf(stderr, "xbar-serve: --cache-max-bytes must be >= 0\n");
+    return 2;
+  }
+  sopts.cache_max_bytes = static_cast<std::uint64_t>(cache_cap);
 
   // The daemon always collects counters: the "metrics" op is the
   // service's health surface (cache hit/miss rates, queue rejections).

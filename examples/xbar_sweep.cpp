@@ -55,9 +55,16 @@ void print_usage(std::FILE* to) {
       "(> 0; default 20000000)\n"
       "  --solver-time-ms=N  solver wall-clock budget per solve in "
       "milliseconds (>= 0, 0 = unlimited; default 60000)\n"
+      "  --solver-threads=N  branch & bound worker threads per solve (1;\n"
+      "                      results are bit-identical at every count)\n"
+      "  --solver-cuts=BOOL  root cover/clique cut layer (true)\n"
+      "  --solver-portfolio=BOOL  race the specialized solver against\n"
+      "                      the MILP on feasibility probes (false)\n"
       "  --validate=BOOL     per-point validation simulation (true)\n"
       "  --cache-dir=DIR     persistent phase-1 result store shared with\n"
       "                      xbargen / xbar-fuzz / xbar-serve\n"
+      "  --cache-max-bytes=N evict oldest-accessed store entries over\n"
+      "                      this cap at open (0 = unlimited)\n"
       "  --out-dir=DIR       write <basename>.json/.csv/.md artifacts\n"
       "  --basename=NAME     artifact filename stem (sweep)\n"
       "  --compare-serial    also time the equivalent per-point "
@@ -69,8 +76,9 @@ void print_usage(std::FILE* to) {
 const std::vector<std::string> kKnownFlags = {
     "app",      "grid",     "threads",  "batch",  "horizon",      "seed",
     "solver-node-limit",    "solver-time-ms",
+    "solver-threads", "solver-cuts", "solver-portfolio",
     "validate", "out-dir",  "basename", "compare-serial", "help",
-    "cache-dir", "trace-out", "metrics-out",
+    "cache-dir", "cache-max-bytes", "trace-out", "metrics-out",
 };
 
 /// Solver budget flags; malformed/out-of-range values exit 2 with usage.
@@ -186,7 +194,8 @@ int main(int argc, char** argv) {
     std::shared_ptr<explore::kv_store> store;
     const auto cache_dir = flags.get_string("cache-dir", "");
     if (!cache_dir.empty()) {
-      store = std::make_shared<explore::disk_store>(cache_dir);
+      store = std::make_shared<explore::disk_store>(
+          cache_dir, cli::cache_max_bytes_flag(flags));
     }
     explore::trace_cache cache(store);
 

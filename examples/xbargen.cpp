@@ -58,11 +58,18 @@ void print_usage(std::FILE* to) {
       "(> 0; default 20000000)\n"
       "  --solver-time-ms=N  solver wall-clock budget per solve in "
       "milliseconds (>= 0, 0 = unlimited; default 60000)\n"
+      "  --solver-threads=N  branch & bound worker threads (1; results\n"
+      "                      are bit-identical at every thread count)\n"
+      "  --solver-cuts=BOOL  root cover/clique cut layer (true)\n"
+      "  --solver-portfolio=BOOL  race the specialized solver against\n"
+      "                      the MILP on feasibility probes (false)\n"
       "  --horizon=N         simulation cycles (120000)\n"
       "  --cache-dir=DIR     persistent result store: a design already\n"
       "                      computed under DIR (by any CLI or the\n"
       "                      xbar-serve daemon) is reused without\n"
       "                      re-running simulation or the solver\n"
+      "  --cache-max-bytes=N evict oldest-accessed store entries over\n"
+      "                      this cap at open (0 = unlimited)\n"
       "  --grid KEY=V1,...   sweep an axis instead of one design point "
       "(repeatable;\n"
       "                      keys: win thr maxtb burstwin policy solver "
@@ -81,8 +88,9 @@ const std::vector<std::string> kKnownFlags = {
     "app",      "trace",    "save-traces", "emit",     "out-dir",
     "window",   "threshold", "maxtb",      "conflicts", "critical",
     "solver",   "solver-node-limit", "solver-time-ms",
+    "solver-threads", "solver-cuts", "solver-portfolio",
     "horizon",  "grid",     "threads",    "help",
-    "cache-dir", "trace-out", "metrics-out",
+    "cache-dir", "cache-max-bytes", "trace-out", "metrics-out",
 };
 
 /// Solver budget flags; malformed/out-of-range values exit 2 with usage.
@@ -202,7 +210,8 @@ int run_grid_sweep(const flag_set& flags) {
   std::shared_ptr<explore::kv_store> store;
   const auto cache_dir = flags.get_string("cache-dir", "");
   if (!cache_dir.empty()) {
-    store = std::make_shared<explore::disk_store>(cache_dir);
+    store = std::make_shared<explore::disk_store>(
+        cache_dir, cli::cache_max_bytes_flag(flags));
   }
   explore::trace_cache cache(store);
   const auto report = explore::run_sweep(spec, cache);
@@ -276,7 +285,8 @@ int design_from_app(const flag_set& flags) {
   xbar::flow_report report;
   bool from_store = false;
   if (!cache_dir.empty()) {
-    const auto store = std::make_shared<explore::disk_store>(cache_dir);
+    const auto store = std::make_shared<explore::disk_store>(
+        cache_dir, cli::cache_max_bytes_flag(flags));
     explore::trace_cache cache(store);
     auto result =
         serve::cached_design(app, flags.get_string("app", "mat2"), opts,

@@ -118,6 +118,8 @@ const char* to_string(cache_stage s) {
       return "full";
     case cache_stage::report:
       return "report";
+    case cache_stage::metrics:
+      return "metrics";
   }
   return "?";
 }
@@ -147,8 +149,16 @@ cache_key report_key(const std::string& app_id, const xbar::flow_options& opts,
   k.optimize_binding = opts.synth.optimize_binding;
   k.max_nodes = opts.synth.limits.max_nodes;
   k.time_limit_sec = opts.synth.limits.time_limit_sec;
-  k.warm_start = opts.synth.limits.warm_start;
+  k.cuts = opts.synth.limits.cuts;
+  k.portfolio = opts.synth.limits.portfolio;
   k.validated = validated;
+  return k;
+}
+
+cache_key metrics_key(const std::string& app_id,
+                      const xbar::flow_options& opts) {
+  auto k = report_key(app_id, opts, /*validated=*/false);
+  k.stage = cache_stage::metrics;
   return k;
 }
 
@@ -167,7 +177,7 @@ std::string encode(const cache_key& key) {
   field("seed", std::to_string(key.seed));
   field("policy", std::to_string(key.policy));
   field("overhead", std::to_string(key.transfer_overhead));
-  if (key.stage == cache_stage::report) {
+  if (key.stage == cache_stage::report || key.stage == cache_stage::metrics) {
     field("win", std::to_string(key.window_size));
     field("thr", fmt_double(key.overlap_threshold));
     field("maxtb", std::to_string(key.max_targets_per_bus));
@@ -180,7 +190,8 @@ std::string encode(const cache_key& key) {
     field("bindopt", key.optimize_binding ? "1" : "0");
     field("nodes", std::to_string(key.max_nodes));
     field("timelimit", fmt_double(key.time_limit_sec));
-    field("warm", key.warm_start ? "1" : "0");
+    field("cuts", key.cuts ? "1" : "0");
+    field("portfolio", key.portfolio ? "1" : "0");
     field("validated", key.validated ? "1" : "0");
   }
   return out;
@@ -223,6 +234,8 @@ cache_key decode(const std::string& line) {
         k.stage = cache_stage::full;
       } else if (value == "report") {
         k.stage = cache_stage::report;
+      } else if (value == "metrics") {
+        k.stage = cache_stage::metrics;
       } else {
         throw invalid_argument_error("stxkey: unknown stage '" + value + "'");
       }
@@ -262,8 +275,10 @@ cache_key decode(const std::string& line) {
       k.max_nodes = parse_int(value, name);
     } else if (name == "timelimit") {
       k.time_limit_sec = parse_double(value, name);
-    } else if (name == "warm") {
-      k.warm_start = parse_bool(value, name);
+    } else if (name == "cuts") {
+      k.cuts = parse_bool(value, name);
+    } else if (name == "portfolio") {
+      k.portfolio = parse_bool(value, name);
     } else if (name == "validated") {
       k.validated = parse_bool(value, name);
     } else {

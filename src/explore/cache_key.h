@@ -34,9 +34,12 @@ inline constexpr int kCacheSchemaVersion = 1;
 
 /// Which stage result the key names.
 enum class cache_stage {
-  trace,   ///< phase-1 collected_traces (synthesis knobs excluded)
-  full,    ///< full-crossbar reference validation_metrics (same deps)
-  report,  ///< complete flow_report (every knob included)
+  trace,    ///< phase-1 collected_traces (synthesis knobs excluded)
+  full,     ///< full-crossbar reference validation_metrics (same deps)
+  report,   ///< complete flow_report (every knob included)
+  metrics,  ///< phase-4 designed-configuration validation_metrics (the
+            ///< design is a function of every knob, so same deps as
+            ///< report minus the validated marker)
 };
 
 const char* to_string(cache_stage s);
@@ -72,7 +75,11 @@ struct cache_key {
   bool optimize_binding = false;
   std::int64_t max_nodes = 0;
   double time_limit_sec = 0.0;
-  bool warm_start = false;
+  /// Solver cut separation and portfolio racing DO enter the key (a
+  /// starved budget interacts with both); worker thread count does NOT —
+  /// solver results are bit-identical across thread counts by contract.
+  bool cuts = false;
+  bool portfolio = false;
   /// Whether phase 4 ran (a validated and a synthesis-only report are
   /// different artifacts).
   bool validated = false;
@@ -90,6 +97,13 @@ cache_key full_key(const std::string& app_id, const xbar::flow_options& opts);
 /// Complete flow-report key: every option the report depends on.
 cache_key report_key(const std::string& app_id, const xbar::flow_options& opts,
                      bool validated = true);
+
+/// Phase-4 designed-configuration metrics key: the designed crossbar is
+/// a deterministic function of the traces and every synthesis knob, so
+/// this carries the full report-key field set (validated excluded — it
+/// names a report variant, not a metrics input).
+cache_key metrics_key(const std::string& app_id,
+                      const xbar::flow_options& opts);
 
 /// The one-line canonical wire form (see file comment).
 std::string encode(const cache_key& key);

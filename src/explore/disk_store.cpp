@@ -1,16 +1,19 @@
 #include "explore/disk_store.h"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <system_error>
+#include <vector>
 
 #include "obs/obs.h"
 #include "util/error.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <signal.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #endif
 
@@ -103,7 +106,75 @@ std::optional<bool> tmp_writer_alive(const std::string& name) {
 #endif
 }
 
+/// Best-effort access time for the eviction order: true atime where the
+/// platform exposes one (POSIX stat), otherwise the write time. On
+/// relatime/noatime mounts atime degrades toward mtime, which still
+/// yields a sane oldest-first order — eviction is a cache policy, not a
+/// correctness surface.
+std::int64_t access_stamp(const fs::path& p) {
+#if defined(__APPLE__)
+  struct ::stat st{};
+  if (::stat(p.c_str(), &st) == 0) {
+    return static_cast<std::int64_t>(st.st_atimespec.tv_sec) *
+               1'000'000'000 +
+           st.st_atimespec.tv_nsec;
+  }
+#elif defined(__unix__)
+  struct ::stat st{};
+  if (::stat(p.c_str(), &st) == 0) {
+    return static_cast<std::int64_t>(st.st_atim.tv_sec) * 1'000'000'000 +
+           st.st_atim.tv_nsec;
+  }
+#endif
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(p, ec);
+  if (ec) return 0;
+  return static_cast<std::int64_t>(mtime.time_since_epoch().count());
+}
+
 }  // namespace
+
+std::int64_t disk_store::evict_over_cap() {
+  if (max_bytes_ == 0) return 0;
+  struct entry {
+    fs::path path;
+    std::uint64_t bytes = 0;
+    std::int64_t stamp = 0;
+  };
+  std::vector<entry> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (fs::directory_iterator it(root_ / "objects", ec), end;
+       !ec && it != end; it.increment(ec)) {
+    std::error_code fec;
+    if (!it->is_regular_file(fec)) continue;
+    entry e;
+    e.path = it->path();
+    e.bytes = static_cast<std::uint64_t>(it->file_size(fec));
+    if (fec) continue;
+    e.stamp = access_stamp(e.path);
+    total += e.bytes;
+    entries.push_back(std::move(e));
+  }
+  if (total <= max_bytes_) return 0;
+  // Oldest access first; tie-break on the (hash) filename so the sweep
+  // order is stable across runs.
+  std::sort(entries.begin(), entries.end(), [](const entry& a,
+                                               const entry& b) {
+    if (a.stamp != b.stamp) return a.stamp < b.stamp;
+    return a.path.filename() < b.path.filename();
+  });
+  std::int64_t evicted = 0;
+  for (const auto& e : entries) {
+    if (total <= max_bytes_) break;
+    std::error_code rm;
+    if (fs::remove(e.path, rm) && !rm) {
+      total -= e.bytes;
+      ++evicted;
+    }
+  }
+  return evicted;
+}
 
 std::int64_t disk_store::sweep_tmp() {
   std::int64_t swept = 0;
@@ -128,7 +199,8 @@ std::int64_t disk_store::sweep_tmp() {
   return swept;
 }
 
-disk_store::disk_store(const std::string& dir) : root_(dir) {
+disk_store::disk_store(const std::string& dir, std::uint64_t max_bytes)
+    : root_(dir), max_bytes_(max_bytes) {
   STX_REQUIRE(!dir.empty(), "disk_store: empty cache directory");
   std::error_code ec;
   fs::create_directories(root_ / "objects", ec);
@@ -142,6 +214,13 @@ disk_store::disk_store(const std::string& dir) : root_(dir) {
   stats_.tmp_swept = sweep_tmp();
   if (stats_.tmp_swept > 0) {
     obs::add_counter("store.disk.tmp_swept", stats_.tmp_swept);
+  }
+  // Enforce the size cap once, at open: a long-running sweep/daemon can
+  // overshoot between opens, but every restart pulls the store back
+  // under the configured bound.
+  stats_.evicted = evict_over_cap();
+  if (stats_.evicted > 0) {
+    obs::add_counter("store.disk.evicted", stats_.evicted);
   }
 }
 

@@ -30,6 +30,10 @@
 //    writer process is provably dead (or that are over an hour old), so
 //    crashes cannot grow the staging area without bound. Swept files are
 //    counted in stats().tmp_swept.
+//  * Bounded (opt-in): with a byte cap, opening the store evicts whole
+//    objects oldest-access-first until the objects/ total fits the cap.
+//    Eviction only ever drops cached results — every consumer treats an
+//    absent key as a miss and recomputes. Counted in stats().evicted.
 #pragma once
 
 #include <atomic>
@@ -44,7 +48,10 @@ class disk_store final : public kv_store {
  public:
   /// Opens (creating if needed) the store rooted at `dir`. Throws
   /// stx::invalid_argument_error when the directories cannot be created.
-  explicit disk_store(const std::string& dir);
+  /// `max_bytes` caps the objects/ payload total: when the existing
+  /// contents exceed it, the open evicts oldest-access-first down to the
+  /// cap (0 = unlimited, the default).
+  explicit disk_store(const std::string& dir, std::uint64_t max_bytes = 0);
 
   std::optional<std::string> get(const cache_key& key) override;
   void put(const cache_key& key, std::string_view value) override;
@@ -58,8 +65,12 @@ class disk_store final : public kv_store {
   /// Removes orphaned tmp/ staging files — writer pid provably dead, or
   /// older than an hour — and returns how many went (stats().tmp_swept).
   std::int64_t sweep_tmp();
+  /// Evicts objects oldest-access-first until objects/ totals at most
+  /// max_bytes_; returns how many went (stats().evicted). No-op at 0.
+  std::int64_t evict_over_cap();
 
   std::filesystem::path root_;
+  std::uint64_t max_bytes_ = 0;
   std::atomic<std::uint64_t> tmp_seq_{0};
   mutable std::mutex mu_;  ///< guards stats_ only; file ops are lock-free
   kv_stats stats_;

@@ -23,14 +23,16 @@ class kv_store {
   /// Activity totals since construction. `corrupt` counts entries that
   /// existed but failed integrity checks and were treated as misses;
   /// `tmp_swept` counts orphaned staging files removed when the store
-  /// opened (crashed writers leave them behind) — both always 0 for the
-  /// memory store.
+  /// opened (crashed writers leave them behind); `evicted` counts
+  /// objects removed by the size-cap sweep at open — all always 0 for
+  /// the memory store.
   struct kv_stats {
     std::int64_t hits = 0;
     std::int64_t misses = 0;
     std::int64_t puts = 0;
     std::int64_t corrupt = 0;
     std::int64_t tmp_swept = 0;
+    std::int64_t evicted = 0;
 
     bool operator==(const kv_stats&) const = default;
   };

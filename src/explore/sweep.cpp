@@ -5,6 +5,7 @@
 #include <exception>
 #include <thread>
 
+#include "explore/codec.h"
 #include "obs/obs.h"
 #include "util/error.h"
 
@@ -154,6 +155,7 @@ sweep_report run_sweep(const sweep_spec& spec, trace_cache& cache) {
   };
   run_workers(spec.threads, jobs.size(), worker);
 
+  std::int64_t designed_store_hits = 0;
   if (batched_validation) {
     // ---- Batched phase 4. The synthesis pass above left every report's
     // `designed` metrics empty; pack same-app design points into cohorts
@@ -161,13 +163,35 @@ sweep_report run_sweep(const sweep_spec& spec, trace_cache& cache) {
     // Per-instance results are independent of cohort membership (and a
     // batch instance is bit-identical to a session), so the report does
     // not depend on batch size or on which worker claims which cohort.
+    //
+    // With a persistent store behind the cache, each point's designed
+    // metrics are content-addressed under the stage=metrics key: hits
+    // drop out of the cohorts entirely (a re-run of the same sweep skips
+    // the whole batched re-simulation), and every simulated result is
+    // written through for the next run. Safe because a warm result is
+    // bit-identical to a fresh one by the codec round-trip contract.
+    kv_store* const store = cache.backing();
     std::vector<std::vector<std::size_t>> cohorts;
     const auto width = static_cast<std::size_t>(spec.batch_size);
     for (std::size_t a = 0; a < num_apps; ++a) {
       std::vector<std::size_t> eligible;
       for (std::size_t p = 0; p < num_points; ++p) {
         const std::size_t i = a * num_points + p;
-        if (errors[i] == nullptr) eligible.push_back(i);
+        if (errors[i] != nullptr) continue;
+        if (store != nullptr) {
+          const auto key = metrics_key(jobs[i].app->name,
+                                       options_for(spec, *jobs[i].point));
+          if (auto blob = store->get(key)) {
+            try {
+              results[i].report.designed = decode_metrics(*blob);
+              ++designed_store_hits;
+              continue;
+            } catch (const std::exception&) {
+              // Undecodable object: re-simulate (the put below heals it).
+            }
+          }
+        }
+        eligible.push_back(i);
       }
       for (std::size_t off = 0; off < eligible.size(); off += width) {
         const auto end = std::min(eligible.size(), off + width);
@@ -193,6 +217,11 @@ sweep_report run_sweep(const sweep_spec& spec, trace_cache& cache) {
                                                  opts.transfer_overhead),
                 opts};
           };
+          const auto store_metrics = [&](std::size_t i) {
+            if (store == nullptr) return;
+            store->put(metrics_key(app.name, options_for(spec, *jobs[i].point)),
+                       encode_metrics(results[i].report.designed));
+          };
           if (members.size() == 1) {
             // Odd-shaped straggler: one plain sim::session (identical
             // result by the batch bit-identity contract, without the
@@ -201,6 +230,7 @@ sweep_report run_sweep(const sweep_spec& spec, trace_cache& cache) {
             const auto vjob = designed_configs(i);
             results[i].report.designed = xbar::validate_configuration(
                 app, vjob.request, vjob.response, vjob.opts);
+            store_metrics(i);
             continue;
           }
           std::vector<xbar::validation_job> vjobs;
@@ -211,6 +241,7 @@ sweep_report run_sweep(const sweep_spec& spec, trace_cache& cache) {
           const auto metrics = xbar::validate_configurations(app, vjobs);
           for (std::size_t m = 0; m < members.size(); ++m) {
             results[members[m]].report.designed = metrics[m];
+            store_metrics(members[m]);
           }
         } catch (...) {
           for (const std::size_t i : members) {
@@ -220,6 +251,9 @@ sweep_report run_sweep(const sweep_spec& spec, trace_cache& cache) {
       }
     };
     run_workers(spec.threads, cohorts.size(), validate_worker);
+    if (designed_store_hits > 0) {
+      obs::add_counter("explore.designed.store_hits", designed_store_hits);
+    }
   }
 
   // Rethrow the first failure in job order (deterministic, like the
@@ -237,6 +271,7 @@ sweep_report run_sweep(const sweep_spec& spec, trace_cache& cache) {
       stats_after.trace_misses - stats_before.trace_misses;
   report.full_simulations =
       stats_after.full_misses - stats_before.full_misses;
+  report.designed_store_hits = designed_store_hits;
   // Per-app cache activity for THIS sweep: delta against the pre-sweep
   // per-app totals, reported in spec order (deterministic; a shared cache
   // may carry counts from earlier sweeps).

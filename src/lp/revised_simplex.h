@@ -42,6 +42,19 @@ class revised_solver {
   /// solves. Does not touch the underlying model.
   void set_bounds(int var, double lower, double upper);
 
+  /// Appends one constraint row to the working system WITHOUT rebuilding
+  /// the solver. The row is equilibrated exactly as at construction, its
+  /// slack becomes the new row's basic variable, and artificial column
+  /// indices shift one slot right inside the stored basis; the next
+  /// solve/solve_from refactorizes against the extended system (a warm
+  /// dual re-solve from last_basis() repairs the feasibility the row
+  /// broke — the cut-separation loop in milp/branch_bound runs on this).
+  /// Column geometry after N add_row calls is identical to a solver
+  /// freshly built from the model with the same rows appended in the same
+  /// order, so basis snapshots are interchangeable between the two.
+  /// Does not touch the underlying model.
+  void add_row(const std::vector<term>& terms, relation rel, double rhs);
+
   /// Cold solve: artificial crash basis, two-phase primal simplex.
   solve_result solve();
 

@@ -1,10 +1,10 @@
 // Bounded-variable two-phase primal simplex (legacy cold-solve engine).
 //
 // This is the tableau-based reference path: every solve is from scratch.
-// The warm-startable revised-simplex engine (lp/revised_simplex.h) is the
-// fast path; this engine is kept one release as its differential
-// reference (tests/lp cross-checks the two on random models) and for the
-// branch & bound's legacy cold mode (milp::bb_options::warm_start=false).
+// The warm-startable revised-simplex engine (lp/revised_simplex.h) is
+// the production path everywhere — branch & bound included; this engine
+// survives only as the LP-level differential reference (tests/lp
+// cross-checks the two on random models).
 #pragma once
 
 #include <string>

@@ -1,24 +1,37 @@
-// Branch & bound MILP solver over the simplex LP relaxation.
+// Branch & bound MILP solver over the revised-simplex LP relaxation.
 //
-// Two engines solve the same search exactly:
+// One engine, deterministically parallel:
 //
-//  * warm (default): incremental branch & bound on the revised-simplex
-//    engine (lp/revised_simplex.h). Each child node inherits its parent's
-//    optimal BASIS and re-solves with a handful of dual pivots instead of
-//    a full two-phase solve; nodes are explored best-bound-first with a
-//    deterministic newest-first (DFS plunge) tie-break, and branching is
-//    most-fractional weighted by pseudocosts initialised from the
-//    objective. This is the fast path: on the crossbar models it cuts LP
-//    iterations per node by an order of magnitude (bench/ablation_solver
-//    measures it, tests/xbar pins the guarantee).
+//  * Nodes are explored best-bound-first with a deterministic
+//    newest-first (DFS plunge) tie-break; each child inherits its
+//    parent's optimal BASIS (shared_ptr chains through the tree) and
+//    re-solves with a handful of dual pivots instead of a full two-phase
+//    solve. Branching is most-fractional weighted by pseudocosts
+//    initialised from the objective.
 //
-//  * cold (bb_options::warm_start = false): the legacy recursive DFS that
-//    cold-solves the full two-phase tableau LP at every node. Kept one
-//    release as the differential reference — the warm/cold equivalence
-//    suites re-solve every instance on both engines and require identical
-//    outcomes (status, objective, best bound on completion).
+//  * Parallelism is bulk-synchronous waves: the coordinator pops a wave
+//    of the globally best open nodes (wave size depends only on the heap,
+//    never on the thread count), workers claim wave slots dynamically
+//    (work stealing) and run pure LP solves on per-worker
+//    lp::revised_solver instances, and a sequential merge in slot order
+//    performs every state mutation — pseudocost updates, pruning,
+//    incumbent publication, child creation. Because each LP solve is a
+//    pure function of (bounds, warm basis) and the merge order is fixed,
+//    `bb_result` is bit-identical across thread counts (the contract the
+//    sweep engine and sim::batch pin; the only caveat is a wall-clock
+//    limit actually firing, which truncates the search at a
+//    timing-dependent wave).
+//
+//  * A root cut layer exploits the Eq. 3-9 packing structure: cover cuts
+//    from knapsack rows and clique cuts from the 2-variable conflict
+//    graph are separated at the root in deterministic rounds, appended to
+//    the working LP through lp::revised_solver::add_row + warm dual
+//    re-solves, and kept in a pool that every per-worker solver is
+//    rebuilt against. Cuts are valid inequalities for every integer
+//    point, so incumbents always satisfy them (the engine asserts it).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -39,9 +52,10 @@ const char* to_string(milp_status s);
 
 /// Search knobs.
 struct bb_options {
-  /// Stop after exploring this many branch & bound nodes.
+  /// Stop after exploring this many branch & bound nodes (checked at
+  /// wave boundaries, so a wave in flight may overshoot by its size).
   std::int64_t max_nodes = 2'000'000;
-  /// Wall-clock budget in seconds (checked between nodes); <= 0 = none.
+  /// Wall-clock budget in seconds (checked between waves); <= 0 = none.
   double time_limit_sec = 120.0;
   /// Stop at the first integer-feasible point (paper's MILP1 usage:
   /// "obj: Feasibility Analysis").
@@ -54,14 +68,33 @@ struct bb_options {
   bool use_presolve = true;
   /// Try a round-to-nearest heuristic at each node to seed the incumbent.
   bool rounding_heuristic = true;
-  /// Warm-started incremental engine (see header comment). false = the
-  /// legacy per-node cold solve, kept one release as the differential
-  /// reference.
-  bool warm_start = true;
+  /// Worker threads exploring the tree (clamped to [1, 64]). The result
+  /// is bit-identical across values; only wall time changes.
+  int threads = 1;
+  /// Separate cover/clique cuts at the root (see header comment). Off
+  /// reproduces the pure PR-5 search tree.
+  bool cuts = true;
+  /// Cooperative cancellation hook (portfolio racing): when non-null and
+  /// it reads true at a wave boundary, the search stops as if the time
+  /// limit fired. The caller keeps ownership. Cancellable solves are
+  /// excluded from the deterministic obs counter section — a cancelled
+  /// search is truncated at a timing-dependent point.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// One pooled root cut: sum(terms) <= rhs over the variable space the
+/// engine solved (the presolve-reduced space when use_presolve is on).
+/// Valid for every integer-feasible point of that space.
+struct bb_cut {
+  std::vector<lp::term> terms;
+  double rhs = 0.0;
 };
 
 /// Solve outcome. `x` is in the ORIGINAL variable space (presolve fixings
 /// are expanded back) and `objective` is evaluated on the original model.
+/// Every field is deterministic for a given (model, options) — including
+/// across `threads` values; timing-dependent telemetry (steal counts,
+/// portfolio win attribution) goes to the obs wall section instead.
 struct bb_result {
   milp_status status = milp_status::limit;
   double objective = 0.0;
@@ -69,24 +102,29 @@ struct bb_result {
   std::int64_t nodes = 0;
   std::int64_t lp_iterations = 0;
   double best_bound = 0.0;  ///< global lower bound on the optimum
-  /// Warm engine telemetry (zero on the cold path): how many node LPs
-  /// re-solved from the parent basis vs from scratch.
+  /// How many LP solves (root + cut rounds + nodes) re-solved from a
+  /// warm basis vs from scratch (internal fallbacks count as cold).
   std::int64_t warm_solves = 0;
   std::int64_t cold_solves = 0;
-  /// More warm-engine telemetry (zero on the cold path): pseudocost
-  /// estimator refinements, the open-heap high-water mark, and the
-  /// underlying revised-simplex engine's dual-repair pivot and
-  /// refactorization totals.
+  /// Pseudocost estimator refinements, the open-heap high-water mark,
+  /// and the revised-simplex engine's dual-repair pivot and
+  /// refactorization totals over all counted solves.
   std::int64_t pseudocost_updates = 0;
   std::int64_t max_heap_depth = 0;
   std::int64_t dual_pivots = 0;
   std::int64_t refactorizations = 0;
+  /// Root cut layer: how many cover/clique cuts entered the pool, the
+  /// pool itself (empty when opts.cuts is off), and how many
+  /// bulk-synchronous waves the search ran.
+  std::int64_t cuts_added = 0;
+  std::vector<bb_cut> cuts;
+  std::int64_t waves = 0;
 };
 
-/// Solves `m` exactly with the engine selected by `opts.warm_start`.
-/// Both engines are exact for the 0/1 models used throughout this
-/// repository; the specialised solver in src/xbar is cross-checked
-/// against this path, and the two engines against each other.
+/// Solves `m` exactly. The engine is exact for the 0/1 models used
+/// throughout this repository; the specialised solver in src/xbar is
+/// cross-checked against this path (tests/xbar), and thread-count
+/// bit-identity is pinned by tests/milp/parallel_bb_test.
 bb_result solve_branch_bound(const model& m, const bb_options& opts = {});
 
 }  // namespace stx::milp

@@ -105,8 +105,16 @@ void apply_option_fields(const json::value& doc, design_request& req) {
     STX_REQUIRE(ms >= 0, "solver_time_ms must be >= 0");
     opts.synth.limits.time_limit_sec = static_cast<double>(ms) / 1000.0;
   }
-  if (doc.contains("warm_start")) {
-    opts.synth.limits.warm_start = doc.at("warm_start").as_bool();
+  if (doc.contains("solver_threads")) {
+    const auto threads = doc.at("solver_threads").as_int();
+    STX_REQUIRE(threads >= 1, "solver_threads must be >= 1");
+    opts.synth.limits.threads = static_cast<int>(threads);
+  }
+  if (doc.contains("solver_cuts")) {
+    opts.synth.limits.cuts = doc.at("solver_cuts").as_bool();
+  }
+  if (doc.contains("solver_portfolio")) {
+    opts.synth.limits.portfolio = doc.at("solver_portfolio").as_bool();
   }
   if (doc.contains("validate")) {
     req.validate = doc.at("validate").as_bool();
@@ -130,7 +138,8 @@ const std::set<std::string>& known_fields() {
       "request_window", "response_window",
       "solver",       "optimize_binding",
       "solver_node_limit", "solver_time_ms",
-      "warm_start",   "validate",
+      "solver_threads", "solver_cuts",
+      "solver_portfolio", "validate",
       "artifacts",
   };
   return fields;

@@ -59,6 +59,9 @@ class service {
     int queue_depth = 64;
     /// Persistent store directory; empty = in-process store only.
     std::string cache_dir;
+    /// Store size cap enforced at open (0 = unlimited): oldest-accessed
+    /// objects are evicted until the directory fits.
+    std::uint64_t cache_max_bytes = 0;
   };
 
   struct stats_t {

@@ -8,6 +8,7 @@
 // orders of magnitude faster, which is what the benches use.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -23,12 +24,24 @@ namespace stx::xbar {
 struct solver_options {
   std::int64_t max_nodes = 20'000'000;
   double time_limit_sec = 60.0;
-  /// Generic-MILP path only: solve with the warm-started incremental
-  /// branch & bound (parent-basis dual-simplex re-solves; the fast path).
-  /// false selects the legacy per-node cold solve, kept one release as
-  /// the differential reference — outcomes are identical either way
-  /// (tests/xbar/solver_warm_equivalence_test pins this).
-  bool warm_start = true;
+  /// Generic-MILP path: worker threads for the wave-parallel branch &
+  /// bound (milp::bb_options::threads; results are bit-identical across
+  /// values, only wall time changes).
+  int threads = 1;
+  /// Generic-MILP path: separate cover/clique cuts at the root.
+  bool cuts = true;
+  /// Race the specialised solver against the generic MILP on every
+  /// feasibility probe and take the first DEFINITIVE answer. Both
+  /// engines are exact, so the sat/unsat verdict — and with it the bus
+  /// count — stays deterministic; which engine wins is timing-dependent,
+  /// so probe node telemetry is zeroed under portfolio mode and win
+  /// attribution goes to the obs wall section.
+  bool portfolio = false;
+  /// Cooperative cancellation: when non-null and it reads true, both
+  /// engines stop at their next budget check as if the time limit fired
+  /// (the portfolio uses this to cancel the losing engine). The caller
+  /// keeps ownership.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Search telemetry.

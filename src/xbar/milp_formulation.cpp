@@ -37,6 +37,13 @@ std::vector<int> xbar_milp::decode_binding(
 namespace {
 
 /// Shared construction of Eq. 3-9; the binding variant adds maxov rows.
+/// Without the objective the sharing variables sb/s exist ONLY to let
+/// Eq. 7 forbid conflicting pairs from sharing — which the compact form
+/// states directly as x_i_k + x_j_k <= 1 per conflicting pair per bus,
+/// dropping all T(T-1)/2 * (B+1) sharing variables and their Eq. 5/6
+/// linearisation rows. The two feasibility models have identical integer
+/// solution sets; the compact rows are also exactly the 2-variable shape
+/// the branch & bound's clique-cut separator feeds on.
 xbar_milp build_common(const synthesis_input& input, int num_buses,
                        bool with_objective) {
   STX_REQUIRE(num_buses >= 1, "need at least one bus");
@@ -58,19 +65,22 @@ xbar_milp build_common(const synthesis_input& input, int num_buses,
   }
 
   // Definition 4: sharing variables sb[(i,j)][k] and s[(i,j)], i < j.
-  const int pairs = T * (T - 1) / 2;
-  out.sb.assign(static_cast<std::size_t>(pairs), {});
-  out.s.assign(static_cast<std::size_t>(pairs), -1);
-  for (int i = 0; i < T; ++i) {
-    for (int j = i + 1; j < T; ++j) {
-      const auto p = static_cast<std::size_t>(out.pair_index(i, j));
-      for (int k = 0; k < B; ++k) {
-        out.sb[p].push_back(m.add_binary(
-            0.0, "sb_" + std::to_string(i) + "_" + std::to_string(j) + "_" +
-                     std::to_string(k)));
+  // Only the objective needs them (compact feasibility: see above).
+  if (with_objective) {
+    const int pairs = T * (T - 1) / 2;
+    out.sb.assign(static_cast<std::size_t>(pairs), {});
+    out.s.assign(static_cast<std::size_t>(pairs), -1);
+    for (int i = 0; i < T; ++i) {
+      for (int j = i + 1; j < T; ++j) {
+        const auto p = static_cast<std::size_t>(out.pair_index(i, j));
+        for (int k = 0; k < B; ++k) {
+          out.sb[p].push_back(m.add_binary(
+              0.0, "sb_" + std::to_string(i) + "_" + std::to_string(j) +
+                       "_" + std::to_string(k)));
+        }
+        out.s[p] = m.add_binary(
+            0.0, "s_" + std::to_string(i) + "_" + std::to_string(j));
       }
-      out.s[p] = m.add_binary(
-          0.0, "s_" + std::to_string(i) + "_" + std::to_string(j));
     }
   }
 
@@ -104,31 +114,51 @@ xbar_milp build_common(const synthesis_input& input, int num_buses,
     }
   }
 
-  // Eq. 5: linearised sb = x_i * x_j, and Eq. 6: s = sum_k sb.
-  for (int i = 0; i < T; ++i) {
-    for (int j = i + 1; j < T; ++j) {
-      const auto p = static_cast<std::size_t>(out.pair_index(i, j));
-      std::vector<lp::term> sum_terms;
-      for (int k = 0; k < B; ++k) {
-        const int xi = out.x[static_cast<std::size_t>(i)]
-                            [static_cast<std::size_t>(k)];
-        const int xj = out.x[static_cast<std::size_t>(j)]
-                            [static_cast<std::size_t>(k)];
-        const int sbv = out.sb[p][static_cast<std::size_t>(k)];
-        // x_i + x_j - 1 <= sb
-        m.add_row({{xi, 1.0}, {xj, 1.0}, {sbv, -1.0}},
-                  lp::relation::less_equal, 1.0);
-        // sb <= 0.5 x_i + 0.5 x_j
-        m.add_row({{sbv, 1.0}, {xi, -0.5}, {xj, -0.5}},
-                  lp::relation::less_equal, 0.0);
-        sum_terms.push_back({sbv, 1.0});
-      }
-      sum_terms.push_back({out.s[p], -1.0});
-      m.add_row(sum_terms, lp::relation::equal, 0.0);  // Eq. 6
+  if (with_objective) {
+    // Eq. 5: linearised sb = x_i * x_j, and Eq. 6: s = sum_k sb.
+    for (int i = 0; i < T; ++i) {
+      for (int j = i + 1; j < T; ++j) {
+        const auto p = static_cast<std::size_t>(out.pair_index(i, j));
+        std::vector<lp::term> sum_terms;
+        for (int k = 0; k < B; ++k) {
+          const int xi = out.x[static_cast<std::size_t>(i)]
+                              [static_cast<std::size_t>(k)];
+          const int xj = out.x[static_cast<std::size_t>(j)]
+                              [static_cast<std::size_t>(k)];
+          const int sbv = out.sb[p][static_cast<std::size_t>(k)];
+          // x_i + x_j - 1 <= sb
+          m.add_row({{xi, 1.0}, {xj, 1.0}, {sbv, -1.0}},
+                    lp::relation::less_equal, 1.0);
+          // sb <= 0.5 x_i + 0.5 x_j
+          m.add_row({{sbv, 1.0}, {xi, -0.5}, {xj, -0.5}},
+                    lp::relation::less_equal, 0.0);
+          sum_terms.push_back({sbv, 1.0});
+        }
+        sum_terms.push_back({out.s[p], -1.0});
+        m.add_row(sum_terms, lp::relation::equal, 0.0);  // Eq. 6
 
-      // Eq. 7: conflicting pairs must not share (c_ij * s_ij = 0).
-      if (input.conflict(i, j)) {
-        m.add_row({{out.s[p], 1.0}}, lp::relation::equal, 0.0);
+        // Eq. 7: conflicting pairs must not share (c_ij * s_ij = 0).
+        if (input.conflict(i, j)) {
+          m.add_row({{out.s[p], 1.0}}, lp::relation::equal, 0.0);
+        }
+      }
+    }
+  } else {
+    // Compact Eq. 7: conflicting pairs may not land on the same bus.
+    for (int i = 0; i < T; ++i) {
+      for (int j = i + 1; j < T; ++j) {
+        if (!input.conflict(i, j)) continue;
+        for (int k = 0; k < B; ++k) {
+          m.add_row({{out.x[static_cast<std::size_t>(i)]
+                           [static_cast<std::size_t>(k)],
+                      1.0},
+                     {out.x[static_cast<std::size_t>(j)]
+                           [static_cast<std::size_t>(k)],
+                      1.0}},
+                    lp::relation::less_equal, 1.0,
+                    "conflict_" + std::to_string(i) + "_" +
+                        std::to_string(j) + "_" + std::to_string(k));
+        }
       }
     }
   }

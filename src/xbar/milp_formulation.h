@@ -18,8 +18,10 @@ struct xbar_milp {
   /// x[i][k] variable index (Definition 3).
   std::vector<std::vector<int>> x;
   /// sb[(i,j)][k] variable index for unordered pairs i<j (Definition 4).
+  /// Empty in the feasibility model: without the Eq. 11 objective the
+  /// sharing variables are replaced by direct per-bus conflict rows.
   std::vector<std::vector<int>> sb;
-  /// s[(i,j)] variable index.
+  /// s[(i,j)] variable index (empty in the feasibility model).
   std::vector<int> s;
   /// maxov variable (only in the binding model; -1 otherwise).
   int maxov = -1;
@@ -31,7 +33,11 @@ struct xbar_milp {
   std::vector<int> decode_binding(const std::vector<double>& solution) const;
 };
 
-/// Builds the feasibility MILP (10): Eq. 3-9 with no objective.
+/// Builds the feasibility MILP (10): Eq. 3-9 with no objective, in the
+/// COMPACT form — no sb/s sharing variables; Eq. 7 becomes direct
+/// x_i_k + x_j_k <= 1 conflict rows. Identical integer solution set to
+/// the paper-literal formulation at a fraction of the size (T*B binaries
+/// instead of O(T^2 * B)).
 xbar_milp build_feasibility_milp(const synthesis_input& input,
                                  int num_buses);
 

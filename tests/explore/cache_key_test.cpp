@@ -28,7 +28,8 @@ xbar::flow_options rich_options() {
   opts.synth.optimize_binding = false;
   opts.synth.limits.max_nodes = 123'456;
   opts.synth.limits.time_limit_sec = 1.5;
-  opts.synth.limits.warm_start = false;
+  opts.synth.limits.cuts = false;     // non-default: must round-trip
+  opts.synth.limits.portfolio = true;  // non-default: must round-trip
   return opts;
 }
 

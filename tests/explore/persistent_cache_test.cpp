@@ -4,7 +4,9 @@
 // misses that get rewritten — never crashes — and a warm whole-report
 // hit is bit-identical to the cold computation without running the
 // simulator or the solver.
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -15,6 +17,7 @@
 #include "explore/cache_key.h"
 #include "explore/codec.h"
 #include "explore/disk_store.h"
+#include "explore/sweep.h"
 #include "explore/trace_cache.h"
 #include "obs/obs.h"
 #include "serve/service.h"
@@ -152,6 +155,77 @@ TEST(DiskStore, OpenSweepsOrphanedStagingFiles) {
   fs::remove_all(dir);
 }
 
+/// Sets a file's access time (and mtime) to `when` seconds before now —
+/// the eviction clock under test.
+void age_access_time(const fs::path& p, int hours_ago) {
+  struct timespec times[2];
+  const auto now = std::chrono::system_clock::now();
+  const auto then = std::chrono::system_clock::to_time_t(
+      now - std::chrono::hours(hours_ago));
+  times[0].tv_sec = then;
+  times[0].tv_nsec = 0;
+  times[1] = times[0];
+  ASSERT_EQ(::utimensat(AT_FDCWD, p.c_str(), times, 0), 0);
+}
+
+TEST(DiskStore, SizeCapEvictsOldestAccessedOnOpen) {
+  const auto dir = test_dir("evict");
+  const auto opts = fast_options();
+  const cache_key keys[4] = {trace_key("app-a", opts), trace_key("app-b", opts),
+                             trace_key("app-c", opts),
+                             trace_key("app-d", opts)};
+  {
+    disk_store store(dir.string());
+    for (const auto& k : keys) store.put(k, std::string(100, 'x'));
+  }
+  // Ages: app-a is the coldest entry, app-d the most recently read.
+  std::uint64_t total = 0, oldest_two = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto obj = dir / "objects" / (hash_hex(keys[i]) + ".stx");
+    ASSERT_TRUE(fs::exists(obj));
+    age_access_time(obj, 8 - i);
+    total += fs::file_size(obj);
+    if (i < 2) oldest_two += fs::file_size(obj);
+  }
+
+  // A cap the two newest entries exactly fit: the open must drop the two
+  // coldest and nothing else.
+  disk_store capped(dir.string(), total - oldest_two);
+  EXPECT_EQ(capped.stats().evicted, 2);
+  EXPECT_FALSE(capped.contains(keys[0]));
+  EXPECT_FALSE(capped.contains(keys[1]));
+  EXPECT_EQ(capped.get(keys[2]).value(), std::string(100, 'x'));
+  EXPECT_EQ(capped.get(keys[3]).value(), std::string(100, 'x'));
+
+  // Zero cap = unlimited: reopening evicts nothing further.
+  disk_store unlimited(dir.string());
+  EXPECT_EQ(unlimited.stats().evicted, 0);
+  EXPECT_TRUE(unlimited.contains(keys[2]));
+
+  // A cap above the remaining total is a no-op too.
+  disk_store roomy(dir.string(), total);
+  EXPECT_EQ(roomy.stats().evicted, 0);
+  fs::remove_all(dir);
+}
+
+TEST(DiskStore, EvictedEntriesAreRecomputableMisses) {
+  // Eviction only ever drops cache entries: a consumer seeing the
+  // evicted key misses, recomputes, and the store heals.
+  const auto dir = test_dir("evict-heal");
+  const auto key = trace_key("mat2", fast_options());
+  {
+    disk_store store(dir.string());
+    store.put(key, "original");
+  }
+  age_access_time(dir / "objects" / (hash_hex(key) + ".stx"), 4);
+  disk_store capped(dir.string(), /*max_bytes=*/1);
+  EXPECT_EQ(capped.stats().evicted, 1);
+  EXPECT_EQ(capped.get(key), std::nullopt);
+  capped.put(key, "recomputed");
+  EXPECT_EQ(capped.get(key).value(), "recomputed");
+  fs::remove_all(dir);
+}
+
 TEST(PersistentCache, SecondCacheInstanceServesWithoutSimulating) {
   const auto dir = test_dir("reuse");
   const auto app = small_app();
@@ -260,6 +334,76 @@ TEST(PersistentCache, WarmReportIsBitIdenticalWithSimAndSolverCountersFlat) {
   EXPECT_EQ(after.counter("serve.report.store_hits"),
             before.counter("serve.report.store_hits") + 1);
   obs::reset();
+  fs::remove_all(dir);
+}
+
+// A re-run of a store-backed validating sweep must serve every phase-4
+// designed-configuration result from the stage=metrics store entries —
+// no batched re-simulation at all, pinned on the sim.* obs counters —
+// and produce bit-identical results.
+TEST(PersistentCache, SweepRerunServesDesignedMetricsFromStore) {
+  const auto dir = test_dir("sweep-metrics");
+  sweep_spec spec;
+  spec.apps = {small_app()};
+  spec.grid.window_sizes = {200, 400, 1000};
+  spec.horizon = 8'000;
+  spec.validate = true;
+  spec.batch_size = 2;  // one full cohort + one straggler: both paths
+
+  obs::reset();
+  obs::enable();
+  sweep_report cold;
+  {
+    trace_cache cache(std::make_shared<disk_store>(dir.string()));
+    cold = run_sweep(spec, cache);
+  }
+  EXPECT_EQ(cold.designed_store_hits, 0);
+  EXPECT_EQ(cold.phase1_simulations, 1);
+  const auto before = obs::snapshot();
+  ASSERT_GT(before.counter("sim.runs"), 0);
+
+  sweep_report warm;
+  {
+    trace_cache cache(std::make_shared<disk_store>(dir.string()));
+    warm = run_sweep(spec, cache);
+  }
+  // Every point's designed metrics came off disk; nothing simulated.
+  EXPECT_EQ(warm.designed_store_hits, 3);
+  EXPECT_EQ(warm.phase1_simulations, 0);
+  EXPECT_EQ(warm.full_simulations, 0);
+  const auto after = obs::snapshot();
+  EXPECT_EQ(after.counter("sim.runs"), before.counter("sim.runs"));
+  EXPECT_EQ(after.counter("sim.events_processed"),
+            before.counter("sim.events_processed"));
+  EXPECT_EQ(after.counter("explore.designed.store_hits"), 3);
+  // Warm results (designed metrics included) are bit-identical to cold.
+  EXPECT_EQ(warm.results, cold.results);
+  EXPECT_EQ(warm.pareto, cold.pareto);
+  obs::reset();
+  fs::remove_all(dir);
+}
+
+// The metrics key carries every synthesis knob: a sweep at different
+// knobs on the same store directory must never alias into warm hits.
+TEST(PersistentCache, DesignedMetricsKeyedBySynthesisKnobs) {
+  const auto dir = test_dir("sweep-metrics-keys");
+  sweep_spec spec;
+  spec.apps = {small_app()};
+  spec.grid.window_sizes = {200, 400};
+  spec.horizon = 8'000;
+  spec.validate = true;
+  spec.batch_size = 2;
+  {
+    trace_cache cache(std::make_shared<disk_store>(dir.string()));
+    (void)run_sweep(spec, cache);
+  }
+  // Same app + simulator settings, different maxtb: different designs,
+  // so phase 4 must re-run (store misses), while phase 1 still hits.
+  spec.grid.max_targets_per_bus = {2};
+  trace_cache cache(std::make_shared<disk_store>(dir.string()));
+  const auto report = run_sweep(spec, cache);
+  EXPECT_EQ(report.designed_store_hits, 0);
+  EXPECT_EQ(report.phase1_simulations, 0);
   fs::remove_all(dir);
 }
 

@@ -1,0 +1,274 @@
+// The deterministic-parallelism contract of the wave-parallel branch &
+// bound: for any (model, options), `bb_result` is bit-identical across
+// worker thread counts — every field, doubles compared exactly. Pinned
+// on random BIPs, the Eq. 11 binding / Eq. 3-9 feasibility models of
+// every built-in app, and 40 pinned-seed testkit scenarios, so a future
+// scheduling change that leaks thread count into the search order fails
+// here and not in a flaky downstream sweep. Also pins the root cut
+// layer's validity (cuts are satisfied by every integer-feasible point)
+// and portfolio-mode agreement with the single-engine paths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "milp/branch_bound.h"
+#include "milp/model.h"
+#include "testkit/scenario.h"
+#include "util/random.h"
+#include "workloads/mpsoc_apps.h"
+#include "xbar/bb_solver.h"
+#include "xbar/flow.h"
+#include "xbar/milp_formulation.h"
+#include "xbar/synthesis.h"
+
+namespace stx::milp {
+namespace {
+
+model make_random_bip(rng& r, int n_vars, int n_rows) {
+  model m;
+  for (int v = 0; v < n_vars; ++v) m.add_binary(r.uniform(-5.0, 5.0));
+  for (int rr = 0; rr < n_rows; ++rr) {
+    std::vector<lp::term> terms;
+    for (int v = 0; v < n_vars; ++v) {
+      if (r.chance(0.5)) terms.push_back({v, r.uniform(-4.0, 4.0)});
+    }
+    if (terms.empty()) continue;
+    const auto rel = r.chance(0.5) ? lp::relation::less_equal
+                                   : lp::relation::greater_equal;
+    m.add_row(terms, rel, r.uniform(-3.0, 5.0));
+  }
+  return m;
+}
+
+/// Packing-structured instance (maximise profit under knapsack rows):
+/// the shape whose LP relaxations actually separate cover/clique cuts —
+/// the mixed-sign BIPs above almost never do.
+model make_random_packing(rng& r, int n_vars, int n_rows) {
+  model m;
+  for (int v = 0; v < n_vars; ++v) m.add_binary(-r.uniform(1.0, 10.0));
+  for (int rr = 0; rr < n_rows; ++rr) {
+    std::vector<lp::term> terms;
+    for (int v = 0; v < n_vars; ++v) {
+      if (r.chance(0.6)) terms.push_back({v, r.uniform(1.0, 6.0)});
+    }
+    if (terms.size() < 2) continue;
+    double sum = 0.0;
+    for (const auto& t : terms) sum += t.value;
+    m.add_row(terms, lp::relation::less_equal, r.uniform(0.3, 0.7) * sum);
+  }
+  return m;
+}
+
+/// Field-exact equality over everything bb_result promises deterministic
+/// (which is everything it carries — timing telemetry lives in obs).
+void expect_identical(const bb_result& a, const bb_result& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.status, b.status) << what;
+  EXPECT_EQ(a.objective, b.objective) << what;
+  EXPECT_EQ(a.x, b.x) << what;
+  EXPECT_EQ(a.nodes, b.nodes) << what;
+  EXPECT_EQ(a.lp_iterations, b.lp_iterations) << what;
+  EXPECT_EQ(a.best_bound, b.best_bound) << what;
+  EXPECT_EQ(a.warm_solves, b.warm_solves) << what;
+  EXPECT_EQ(a.cold_solves, b.cold_solves) << what;
+  EXPECT_EQ(a.pseudocost_updates, b.pseudocost_updates) << what;
+  EXPECT_EQ(a.max_heap_depth, b.max_heap_depth) << what;
+  EXPECT_EQ(a.dual_pivots, b.dual_pivots) << what;
+  EXPECT_EQ(a.refactorizations, b.refactorizations) << what;
+  EXPECT_EQ(a.cuts_added, b.cuts_added) << what;
+  EXPECT_EQ(a.waves, b.waves) << what;
+  ASSERT_EQ(a.cuts.size(), b.cuts.size()) << what;
+  for (std::size_t c = 0; c < a.cuts.size(); ++c) {
+    EXPECT_EQ(a.cuts[c].rhs, b.cuts[c].rhs) << what;
+    ASSERT_EQ(a.cuts[c].terms.size(), b.cuts[c].terms.size()) << what;
+    for (std::size_t t = 0; t < a.cuts[c].terms.size(); ++t) {
+      EXPECT_EQ(a.cuts[c].terms[t].var, b.cuts[c].terms[t].var)
+          << what;
+      EXPECT_EQ(a.cuts[c].terms[t].value, b.cuts[c].terms[t].value) << what;
+    }
+  }
+}
+
+/// Solves `m` at 1/2/8 threads and requires bit-identical results.
+void check_thread_identity(const model& m, bb_options opts,
+                           const std::string& what) {
+  opts.time_limit_sec = 0.0;  // a fired wall clock is the one allowed
+                              // source of divergence; exclude it
+  opts.threads = 1;
+  const auto base = solve_branch_bound(m, opts);
+  for (const int threads : {2, 8}) {
+    opts.threads = threads;
+    expect_identical(base, solve_branch_bound(m, opts),
+                     what + " @" + std::to_string(threads) + " threads");
+  }
+}
+
+TEST(ParallelBranchBound, RandomBipsBitIdenticalAcrossThreadCounts) {
+  for (int seed = 0; seed < 25; ++seed) {
+    rng r(static_cast<std::uint64_t>(seed) * 7919 + 3);
+    const int n_vars = static_cast<int>(r.uniform_int(4, 18));
+    const int n_rows = static_cast<int>(r.uniform_int(2, 14));
+    const auto m = make_random_bip(r, n_vars, n_rows);
+    check_thread_identity(m, {}, "bip seed " + std::to_string(seed));
+  }
+  // Packing instances exercise the root cut layer under parallelism.
+  for (int seed = 0; seed < 10; ++seed) {
+    rng r(static_cast<std::uint64_t>(seed) * 90001 + 17);
+    const auto m = make_random_packing(
+        r, static_cast<int>(r.uniform_int(6, 16)),
+        static_cast<int>(r.uniform_int(2, 8)));
+    check_thread_identity(m, {}, "packing seed " + std::to_string(seed));
+  }
+}
+
+TEST(ParallelBranchBound, FeasibilityModeBitIdenticalAcrossThreadCounts) {
+  for (int seed = 0; seed < 10; ++seed) {
+    rng r(static_cast<std::uint64_t>(seed) * 104729 + 11);
+    const auto m = make_random_bip(r, static_cast<int>(r.uniform_int(6, 16)),
+                                   static_cast<int>(r.uniform_int(3, 12)));
+    bb_options opts;
+    opts.feasibility_only = true;
+    check_thread_identity(m, opts, "feas bip seed " + std::to_string(seed));
+  }
+}
+
+/// The paper models: request-direction binding MILP (small apps) or
+/// compact feasibility MILP (the two the Eq. 11 model would dwarf), one
+/// per built-in application. Node-capped so the hard ones stay bounded —
+/// a `limit` result must be bit-identical too.
+TEST(ParallelBranchBound, EveryBuiltInAppModelBitIdentical) {
+  for (const auto& name : workloads::app_names()) {
+    const auto app = *workloads::make_app_by_name(name);
+    xbar::flow_options fopts;
+    fopts.horizon = 4'000;
+    const auto traces = xbar::collect_traces(app, fopts);
+    const auto input = xbar::input_from_trace(
+        traces.request, xbar::effective_synthesis_params(fopts, true));
+    bb_options opts;
+    opts.max_nodes = 2'000;
+    if (app.num_targets <= 12) {
+      xbar::synthesis_options so;
+      so.params = input.params();
+      so.limits.time_limit_sec = 0.0;  // node budgets only: no ASan flakes
+      const int buses = xbar::min_feasible_buses(input, so);
+      check_thread_identity(xbar::build_binding_milp(input, buses).model,
+                            opts, name + " binding");
+    } else {
+      opts.feasibility_only = true;
+      check_thread_identity(
+          xbar::build_feasibility_milp(input, xbar::lower_bound_buses(input))
+              .model,
+          opts, name + " feasibility");
+    }
+  }
+}
+
+TEST(ParallelBranchBound, PinnedScenarioModelsBitIdentical) {
+  for (int s = 0; s < 40; ++s) {
+    rng r(0xD1CE'0000ull + static_cast<unsigned>(s));
+    auto sc = testkit::sample_scenario(r);
+    sc.horizon = std::min<traffic::cycle_t>(sc.horizon, 6'000);
+    const auto app = sc.make_app();
+    const auto fopts = sc.make_flow_options();
+    const auto traces = xbar::collect_traces(app, fopts);
+    const auto input = xbar::input_from_trace(
+        traces.request, xbar::effective_synthesis_params(fopts, true));
+    xbar::synthesis_options so;
+    so.params = input.params();
+    so.limits.time_limit_sec = 0.0;  // node budgets only: no ASan flakes
+    const int buses = xbar::min_feasible_buses(input, so);
+    bb_options opts;
+    opts.max_nodes = 1'000;
+    check_thread_identity(xbar::build_binding_milp(input, buses).model, opts,
+                          sc.name());
+  }
+}
+
+/// Root cover/clique cuts must be valid inequalities: every
+/// integer-feasible point of the model satisfies every pooled cut.
+/// Checked in the original variable space (presolve off, so the pool's
+/// variable indices are the model's).
+TEST(ParallelBranchBound, RootCutsAreValidForEveryIntegerPoint) {
+  std::int64_t total_cuts = 0;
+  for (int seed = 0; seed < 20; ++seed) {
+    rng r(static_cast<std::uint64_t>(seed) * 50021 + 7);
+    const int n_vars = static_cast<int>(r.uniform_int(4, 12));
+    const auto m = make_random_packing(
+        r, n_vars, static_cast<int>(r.uniform_int(3, 10)));
+    bb_options opts;
+    opts.use_presolve = false;
+    const auto res = solve_branch_bound(m, opts);
+    EXPECT_EQ(res.cuts_added,
+              static_cast<std::int64_t>(res.cuts.size()));
+    total_cuts += res.cuts_added;
+
+    std::vector<double> x(static_cast<std::size_t>(n_vars), 0.0);
+    for (int mask = 0; mask < (1 << n_vars); ++mask) {
+      for (int v = 0; v < n_vars; ++v) {
+        x[static_cast<std::size_t>(v)] = (mask >> v) & 1 ? 1.0 : 0.0;
+      }
+      if (!m.is_feasible(x, 1e-7)) continue;
+      for (const auto& cut : res.cuts) {
+        double lhs = 0.0;
+        for (const auto& t : cut.terms) {
+          lhs += t.value * x[static_cast<std::size_t>(t.var)];
+        }
+        EXPECT_LE(lhs, cut.rhs + 1e-6)
+            << "seed " << seed << ": cut violated by a feasible point";
+      }
+    }
+  }
+  EXPECT_GT(total_cuts, 0) << "no seed separated any cut: vacuous test";
+}
+
+/// Portfolio mode races the specialised feasibility search against the
+/// generic MILP; both are exact, so the synthesised design (bus count,
+/// binding, objective) must match the single-engine runs exactly.
+TEST(ParallelBranchBound, PortfolioAgreesWithBothEngines) {
+  std::vector<std::pair<std::string, workloads::app_spec>> apps;
+  for (const auto& name : {"mat2", "qsort"}) {
+    apps.emplace_back(name, *workloads::make_app_by_name(name));
+  }
+  for (int s = 0; s < 3; ++s) {
+    rng r(0xF0'1100ull + static_cast<unsigned>(s));
+    const auto sc = testkit::sample_scenario(r);
+    apps.emplace_back(sc.name(), sc.make_app());
+  }
+  for (const auto& [name, app] : apps) {
+    xbar::flow_options fopts;
+    fopts.horizon = 4'000;
+    const auto traces = xbar::collect_traces(app, fopts);
+    const auto input = xbar::input_from_trace(
+        traces.request, xbar::effective_synthesis_params(fopts, true));
+    xbar::synthesis_options so;
+    so.params = input.params();
+    // Node budgets only: the default 60s wall clock turns into a
+    // `limit` status (and a failed optimality requirement) on slow
+    // sanitizer runs — same discipline as the warm-equivalence test.
+    so.limits.time_limit_sec = 0.0;
+    const auto specialized = xbar::synthesize(input, so);
+    so.solver = xbar::solver_kind::generic_milp;
+    const auto generic = xbar::synthesize(input, so);
+    so.solver = xbar::solver_kind::specialized;
+    so.limits.portfolio = true;
+    const auto raced = xbar::synthesize(input, so);
+    // Across engines: the proven facts agree (both are exact). The
+    // binding vector itself may differ between engines — equal-objective
+    // ties break differently — so it is only pinned against the run
+    // using the same binding engine as the raced one.
+    for (const auto* other : {&specialized, &generic}) {
+      EXPECT_EQ(raced.num_buses, other->num_buses) << name;
+      EXPECT_EQ(raced.max_overlap, other->max_overlap) << name;
+      EXPECT_EQ(raced.binding_optimal, other->binding_optimal) << name;
+      EXPECT_EQ(raced.num_conflicts, other->num_conflicts) << name;
+    }
+    // Portfolio racing only touches the feasibility probes: the binding
+    // solve must be byte-for-byte the non-raced specialised one.
+    EXPECT_EQ(raced.binding, specialized.binding) << name;
+  }
+}
+
+}  // namespace
+}  // namespace stx::milp

@@ -33,7 +33,8 @@ TEST(Protocol, OptionFieldsOverrideTheDefaults) {
       R"({"op":"design","app":"fft","horizon":9000,"window":250,)"
       R"("threshold":0.4,"maxtb":3,"policy":"fixed_priority",)"
       R"("solver":"milp","solver_node_limit":5000,"solver_time_ms":1500,)"
-      R"("warm_start":false,"validate":false,"artifacts":["sv","dot"]})");
+      R"("solver_threads":4,"solver_cuts":false,"solver_portfolio":true,)"
+      R"("validate":false,"artifacts":["sv","dot"]})");
   const auto& d = req.design;
   EXPECT_EQ(d.opts.horizon, 9'000);
   EXPECT_EQ(d.opts.synth.params.window_size, 250);
@@ -43,7 +44,9 @@ TEST(Protocol, OptionFieldsOverrideTheDefaults) {
   EXPECT_EQ(d.opts.synth.solver, xbar::solver_kind::generic_milp);
   EXPECT_EQ(d.opts.synth.limits.max_nodes, 5'000);
   EXPECT_DOUBLE_EQ(d.opts.synth.limits.time_limit_sec, 1.5);
-  EXPECT_FALSE(d.opts.synth.limits.warm_start);
+  EXPECT_EQ(d.opts.synth.limits.threads, 4);
+  EXPECT_FALSE(d.opts.synth.limits.cuts);
+  EXPECT_TRUE(d.opts.synth.limits.portfolio);
   EXPECT_FALSE(d.validate);
   EXPECT_EQ(d.artifacts, (std::vector<std::string>{"sv", "dot"}));
 }

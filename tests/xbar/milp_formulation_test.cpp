@@ -31,11 +31,14 @@ synthesis_input make_input(std::vector<std::vector<cycle_t>> comm,
 }
 
 TEST(MilpFormulation, VariableCountsMatchTheModel) {
-  // T=3, B=2, W=1: x: 3*2=6, sb: 3 pairs * 2 = 6, s: 3. Total 15.
+  // T=3, B=2, W=1. Compact feasibility: only the x binding variables,
+  // 3*2=6. Binding keeps the paper-literal sharing layer — sb: 3 pairs
+  // * 2 = 6, s: 3 — plus maxov: 6+6+3+1 = 16.
   const auto in = make_input({{10}, {10}, {10}}, {}, {}, basic_params());
   const auto fm = build_feasibility_milp(in, 2);
-  EXPECT_EQ(fm.model.num_variables(), 15);
-  // Binding adds maxov.
+  EXPECT_EQ(fm.model.num_variables(), 6);
+  EXPECT_TRUE(fm.sb.empty());
+  EXPECT_TRUE(fm.s.empty());
   const auto bm = build_binding_milp(in, 2);
   EXPECT_EQ(bm.model.num_variables(), 16);
   EXPECT_GE(bm.maxov, 0);
@@ -43,20 +46,26 @@ TEST(MilpFormulation, VariableCountsMatchTheModel) {
 }
 
 TEST(MilpFormulation, RowCountsMatchTheModel) {
-  // T=3, B=2, W=2, maxtb set:
-  //   Eq3: 3, Eq4: B*W = 4 (all comm nonzero), Eq5: pairs*B*2 = 12,
-  //   Eq6: 3, Eq8: 2. No conflicts. Total 24.
+  // T=3, B=2, W=2, maxtb set, no conflicts.
+  // Compact feasibility: Eq3: 3, Eq4: B*W = 4 (all comm nonzero),
+  // Eq8: 2. Total 9 (no sharing linearisation).
+  // Binding: + Eq5: pairs*B*2 = 12, Eq6: 3, maxov rows: 0 (om all
+  // zero). Total 24.
   const auto in = make_input({{10, 5}, {10, 5}, {10, 5}}, {}, {},
                              basic_params(100, 2));
-  const auto fm = build_feasibility_milp(in, 2);
-  EXPECT_EQ(fm.model.num_rows(), 24);
+  EXPECT_EQ(build_feasibility_milp(in, 2).model.num_rows(), 9);
+  EXPECT_EQ(build_binding_milp(in, 2).model.num_rows(), 24);
 }
 
 TEST(MilpFormulation, ConflictAddsEqSevenRow) {
+  // Compact form: one x_i_k + x_j_k <= 1 row PER BUS per conflicting
+  // pair (B=2 here); the binding model keeps the single s=0 row.
   const auto base = make_input({{10}, {10}}, {}, {}, basic_params());
   const auto with = make_input({{10}, {10}}, {}, {{0, 1}}, basic_params());
   EXPECT_EQ(build_feasibility_milp(with, 2).model.num_rows(),
-            build_feasibility_milp(base, 2).model.num_rows() + 1);
+            build_feasibility_milp(base, 2).model.num_rows() + 2);
+  EXPECT_EQ(build_binding_milp(with, 2).model.num_rows(),
+            build_binding_milp(base, 2).model.num_rows() + 1);
 }
 
 TEST(MilpFormulation, FeasibilitySolveFindsValidBinding) {

@@ -1,20 +1,15 @@
-// Warm/cold differential verification of the generic-MILP solver path on
-// the real crossbar models: every built-in application plus 40 random
-// testkit scenarios, re-solved with the warm-started incremental branch
-// & bound and with the legacy cold path, must produce the same OUTCOME —
-// same status, same bus count, same optimal Eq. 11 objective, and a
-// feasible witness binding from each engine. (The witness binding VECTOR
-// may differ when the model has multiple optima; both are verified
-// feasible and cost-identical, which is what "same selected design" means
-// at the design level: bus count and achieved overlap are what the flow
-// consumes.) The exact specialised solver arbitrates: both engines must
-// also match its proven optimum, which pins the symmetry-breaking lex
-// rows to the paper's optima.
-//
-// Cost discipline: infeasibility PROOFS are what make the legacy cold
-// engine intractable (a complete tree with no incumbent to prune
-// against), so the UNSAT differential is gated to small models; the SAT
-// and optimality differentials run everywhere the cold engine is sane.
+// Differential verification of the generic-MILP solver path on the real
+// crossbar models: every built-in application plus 40 random testkit
+// scenarios, solved with the warm-started incremental branch & bound,
+// must match the exact specialised solver — same status, same bus count,
+// same optimal Eq. 11 objective, and a feasible witness binding. (The
+// witness binding VECTOR may differ when the model has multiple optima;
+// both are verified feasible and cost-identical, which is what "same
+// selected design" means at the design level: bus count and achieved
+// overlap are what the flow consumes.) The specialised solver's proofs
+// are themselves cross-checked in tests/xbar/solver_test, so agreement
+// here pins the generic path — including the symmetry-breaking lex rows
+// and the root cut layer — to the paper's optima.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -32,20 +27,19 @@
 namespace stx::xbar {
 namespace {
 
-constexpr int kUnsatMaxTargets = 6;  // UNSAT proofs gate (see header)
+constexpr int kUnsatMaxTargets = 6;  // UNSAT-proof differential gate
 
 /// All solver budgets in this suite are NODE-based (no wall clock):
 /// sanitizer builds run 10x slower and a time limit would turn that
 /// slowdown into a spurious "hit solver limits" failure. Node counts are
 /// machine-independent.
-milp::bb_options engine_options(bool warm) {
+milp::bb_options engine_options() {
   milp::bb_options bb;
-  bb.warm_start = warm;
   bb.time_limit_sec = 0.0;
   return bb;
 }
 
-/// Warm vs cold vs specialised on one pre-processed input, at the
+/// Generic MILP vs specialised on one pre-processed input, at the
 /// specialised solver's proven minimum bus count.
 void expect_outcome_equivalence(const synthesis_input& input,
                                 const std::string& label) {
@@ -57,59 +51,35 @@ void expect_outcome_equivalence(const synthesis_input& input,
   ASSERT_TRUE(reference.has_value()) << label;
   ASSERT_TRUE(reference->proven_optimal) << label;
 
-  const auto warm_bb = engine_options(true);
-  const auto warm = solve_binding_milp(input, buses, warm_bb);
-  ASSERT_TRUE(warm.has_value()) << label;
-  EXPECT_EQ(warm->max_overlap, reference->max_overlap) << label;
-  EXPECT_TRUE(input.binding_feasible(warm->binding, buses)) << label;
+  const auto bb = engine_options();
+  const auto milp = solve_binding_milp(input, buses, bb);
+  ASSERT_TRUE(milp.has_value()) << label;
+  EXPECT_EQ(milp->max_overlap, reference->max_overlap) << label;
+  EXPECT_TRUE(input.binding_feasible(milp->binding, buses)) << label;
 
-  const auto cold_bb = engine_options(false);
-  const auto cold = solve_binding_milp(input, buses, cold_bb);
-  ASSERT_TRUE(cold.has_value()) << label;
-  EXPECT_EQ(cold->max_overlap, reference->max_overlap) << label;
-  EXPECT_TRUE(input.binding_feasible(cold->binding, buses)) << label;
-
-  // Bus-count agreement below the minimum: both engines must prove the
-  // model UNSAT one bus short. Complete-search territory — small models
-  // only (the generic binary search itself is exercised in the scenario
-  // sweep below through these same solves).
+  // Bus-count agreement below the minimum: the generic engine must prove
+  // the model UNSAT one bus short. Complete-search territory — small
+  // models only (the generic binary search itself is exercised in the
+  // scenario sweep below through these same solves).
   if (buses > 1 && input.num_targets() <= kUnsatMaxTargets &&
       lower_bound_buses(input) < buses) {
-    EXPECT_FALSE(
-        solve_feasibility_milp(input, buses - 1, warm_bb).has_value())
-        << label;
-    EXPECT_FALSE(
-        solve_feasibility_milp(input, buses - 1, cold_bb).has_value())
+    EXPECT_FALSE(solve_feasibility_milp(input, buses - 1, bb).has_value())
         << label;
   }
 }
 
 /// Feasibility agreement at the specialised solver's proven minimum bus
-/// count. The WARM engine must solve every app — including the 13/15
-/// target models the legacy engine cannot touch (measured: warm <= 5s on
-/// fft where cold exceeds 120s; that gap is the whole point of this PR).
-/// The cold differential runs where the legacy engine stays cheap even
-/// under sanitizers (measured cold feasibility: qsort 0.25s, synthetic
-/// 0.09s; des 5s and mat2 13s native would blow the ASan budget — des's
-/// warm/cold differential runs natively in the bench-labelled solver
-/// perf guard instead).
+/// count — including the 13/15-target models the retired legacy cold
+/// engine could not touch.
 void expect_feasibility_equivalence(const synthesis_input& input,
-                                    const std::string& label,
-                                    bool with_cold) {
+                                    const std::string& label) {
   synthesis_options spec_opts;
   spec_opts.params = input.params();
   const int buses = min_feasible_buses(input, spec_opts);
 
-  const auto warm = solve_feasibility_milp(input, buses, engine_options(true));
-  ASSERT_TRUE(warm.has_value()) << label;
-  EXPECT_TRUE(input.binding_feasible(*warm, buses)) << label;
-
-  if (with_cold) {
-    const auto cold =
-        solve_feasibility_milp(input, buses, engine_options(false));
-    ASSERT_TRUE(cold.has_value()) << label;
-    EXPECT_TRUE(input.binding_feasible(*cold, buses)) << label;
-  }
+  const auto milp = solve_feasibility_milp(input, buses, engine_options());
+  ASSERT_TRUE(milp.has_value()) << label;
+  EXPECT_TRUE(input.binding_feasible(*milp, buses)) << label;
 }
 
 synthesis_input app_input(const std::string& name, traffic::cycle_t horizon,
@@ -127,26 +97,20 @@ synthesis_input app_input(const std::string& name, traffic::cycle_t horizon,
 }
 
 TEST(SolverWarmEquivalence, FeasibilityAgreesOnEveryBuiltinApp) {
-  const std::vector<std::string> cold_apps = {"qsort", "synthetic"};
   for (const auto& name : workloads::app_names()) {
     // 10k horizon: SHORTER horizons are not cheaper here — fewer windows
     // loosen Eq. 4 and deepen the search (measured: 6k more than doubles
     // the sanitized runtime of the 13/15-target warm solves).
     const auto input = app_input(name, 10'000, /*request=*/true);
-    const bool with_cold =
-        std::find(cold_apps.begin(), cold_apps.end(), name) !=
-        cold_apps.end();
-    expect_feasibility_equivalence(input, name, with_cold);
+    expect_feasibility_equivalence(input, name);
   }
 }
 
 TEST(SolverWarmEquivalence, BindingOptimaAgreeOnTractableApps) {
-  // Full binding optimisation with the cold reference: the apps whose
-  // Eq. 11 model the legacy engine solves in (sanitized) test time. des
-  // joins natively through the bench-labelled perf guard; the larger
-  // paper apps (mat1/mat2/fft) are covered by the feasibility
-  // differential above and the oracle's node-capped cross-check — the
-  // warm engine alone handles them end-to-end (see bench/ablation_solver
+  // Full binding optimisation differential on the apps whose Eq. 11
+  // model stays cheap under sanitizers; the larger paper apps
+  // (mat1/mat2/fft) are covered by the feasibility differential above
+  // and the oracle's node-capped cross-check (see bench/ablation_solver
   // and the --solver=milp CLI path).
   for (const auto& name : {"qsort", "synthetic"}) {
     const auto input = app_input(name, 6'000, /*request=*/true);
