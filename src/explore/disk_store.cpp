@@ -10,8 +10,10 @@
 
 #include "obs/obs.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <signal.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -106,6 +108,31 @@ std::optional<bool> tmp_writer_alive(const std::string& name) {
 #endif
 }
 
+#if defined(__unix__) || defined(__APPLE__)
+/// write()s all of [data, data+size) to fd; false on any error.
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const auto n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// fsync()s a directory so a rename into it is durable; false on error.
+bool sync_dir(const fs::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+#endif
+
 /// Best-effort access time for the eviction order: true atime where the
 /// platform exposes one (POSIX stat), otherwise the write time. On
 /// relatime/noatime mounts atime degrades toward mtime, which still
@@ -199,7 +226,8 @@ std::int64_t disk_store::sweep_tmp() {
   return swept;
 }
 
-disk_store::disk_store(const std::string& dir, std::uint64_t max_bytes)
+disk_store::disk_store(const std::string& dir, std::uint64_t max_bytes,
+                       int sweep_interval_ms)
     : root_(dir), max_bytes_(max_bytes) {
   STX_REQUIRE(!dir.empty(), "disk_store: empty cache directory");
   std::error_code ec;
@@ -222,6 +250,39 @@ disk_store::disk_store(const std::string& dir, std::uint64_t max_bytes)
   if (stats_.evicted > 0) {
     obs::add_counter("store.disk.evicted", stats_.evicted);
   }
+  // Long-running daemons opt into re-running the sweep periodically, so
+  // the cap also holds *between* opens instead of only at them.
+  if (sweep_interval_ms > 0 && max_bytes_ > 0) {
+    sweep_thread_ = std::thread([this, sweep_interval_ms] {
+      std::unique_lock<std::mutex> lock(sweep_mu_);
+      while (!sweep_stop_) {
+        if (sweep_cv_.wait_for(lock,
+                               std::chrono::milliseconds(sweep_interval_ms),
+                               [&] { return sweep_stop_; })) {
+          break;
+        }
+        lock.unlock();
+        const auto evicted = evict_over_cap();
+        if (evicted > 0) {
+          {
+            std::lock_guard<std::mutex> slock(mu_);
+            stats_.evicted += evicted;
+          }
+          obs::add_counter("store.disk.evicted", evicted);
+        }
+        lock.lock();
+      }
+    });
+  }
+}
+
+disk_store::~disk_store() {
+  {
+    std::lock_guard<std::mutex> lock(sweep_mu_);
+    sweep_stop_ = true;
+  }
+  sweep_cv_.notify_all();
+  if (sweep_thread_.joinable()) sweep_thread_.join();
 }
 
 fs::path disk_store::object_path(const cache_key& key) const {
@@ -229,6 +290,17 @@ fs::path disk_store::object_path(const cache_key& key) const {
 }
 
 std::optional<std::string> disk_store::get(const cache_key& key) {
+  const auto fp = STX_FAILPOINT_ACTION("store.get.read");
+  if (fp.kind == failpoint::action_kind::error) {
+    // Injected unreadable object: corrupt-as-miss, exactly like a real
+    // I/O failure — the caller recomputes, the next put heals.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    ++stats_.corrupt;
+    obs::add_counter("store.disk.misses", 1);
+    obs::add_counter("store.disk.corrupt", 1);
+    return std::nullopt;
+  }
   const auto file = slurp(object_path(key));
   if (!file.has_value()) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -258,30 +330,79 @@ std::optional<std::string> disk_store::get(const cache_key& key) {
 void disk_store::put(const cache_key& key, std::string_view value) {
   const auto key_line = encode(key);
   // Stage the complete envelope under tmp/ with a per-process unique
-  // name, then rename into place: readers see the old object or the new
-  // one, never a prefix.
+  // name, fsync it, then rename into place and fsync the directory:
+  // readers see the old object or the new one, never a prefix, and a
+  // power loss after put() returns cannot roll the entry back.
   const auto tmp =
       root_ / "tmp" /
       (hash_hex(key) + "." + std::to_string(process_id()) + "." +
        std::to_string(tmp_seq_.fetch_add(1)));
+  // Any failure from here on is a put failure: the staged file is
+  // removed, nothing is published (or an already-renamed entry of
+  // unknown durability is withdrawn), and the caller sees the throw —
+  // never a silently torn object.
+  const auto fail = [&](const std::string& what) {
+    std::error_code rm;
+    fs::remove(tmp, rm);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.put_failures;
+    }
+    obs::add_counter("store.disk.put_failures", 1);
+    throw invalid_argument_error("disk_store: " + what);
+  };
+
+  std::string envelope;
+  envelope.reserve(value.size() + key_line.size() + 64);
+  envelope += kMagic;
+  envelope += "\nkey=";
+  envelope += key_line;
+  envelope += "\nbytes=";
+  envelope += std::to_string(value.size());
+  envelope += "\n\n";
+  envelope += value;
+
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail("cannot write " + tmp.string());
+  bool ok = write_all(fd, envelope.data(), envelope.size());
+  const auto torn = STX_FAILPOINT_ACTION("store.put.after_tmp_write");
+  if (torn.kind == failpoint::action_kind::torn_write) {
+    // Injected torn write: keep only a prefix of the staged bytes. The
+    // crash matrix then proves a torn object is never served whole.
+    (void)::ftruncate(fd, static_cast<off_t>(envelope.size() / 2));
+  } else if (torn.kind == failpoint::action_kind::error) {
+    ok = false;
+  }
+  if (ok) {
+    const auto fsf = STX_FAILPOINT_ACTION("store.put.fsync");
+    ok = fsf.kind != failpoint::action_kind::error && ::fsync(fd) == 0;
+  }
+  ::close(fd);
+  if (!ok) fail("write/fsync failed for " + tmp.string());
+#else
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    STX_REQUIRE(out.good(), "disk_store: cannot write " + tmp.string());
-    out << kMagic << '\n'
-        << "key=" << key_line << '\n'
-        << "bytes=" << value.size() << '\n'
-        << '\n';
-    out.write(value.data(), static_cast<std::streamsize>(value.size()));
+    if (!out.good()) fail("cannot write " + tmp.string());
+    out.write(envelope.data(), static_cast<std::streamsize>(envelope.size()));
     out.flush();
-    STX_REQUIRE(out.good(), "disk_store: write failed for " + tmp.string());
+    if (!out.good()) fail("write failed for " + tmp.string());
   }
+#endif
+  STX_FAILPOINT("store.put.before_rename");
   std::error_code ec;
   fs::rename(tmp, object_path(key), ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    throw invalid_argument_error("disk_store: cannot publish " +
-                                 object_path(key).string());
+  if (ec) fail("cannot publish " + object_path(key).string());
+  STX_FAILPOINT("store.put.after_rename");
+#if defined(__unix__) || defined(__APPLE__)
+  if (!sync_dir(root_ / "objects")) {
+    // The rename itself may not survive a power loss: withdraw the
+    // entry so "put failed" always implies "not published".
+    fs::remove(object_path(key), ec);
+    fail("cannot fsync " + (root_ / "objects").string());
   }
+#endif
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.puts;

@@ -19,6 +19,11 @@
 // Guarantees:
 //  * Atomic writes: entries are staged in tmp/ and renamed into place,
 //    so readers never observe a half-written object (POSIX rename).
+//  * Durable writes: the staged object is fsync()ed before the rename
+//    and the objects/ directory is fsync()ed after it, so a power loss
+//    after put() returns cannot roll back or tear the entry. A write /
+//    fsync / rename failure withholds the object (tmp cleaned up, put
+//    throws, stats().put_failures counts it) — never a torn publish.
 //  * Corruption tolerance: a truncated, garbage, or wrong-key (hash
 //    collision) object is treated as a miss and counted in
 //    stats().corrupt; the next put simply overwrites it. Never a crash,
@@ -32,13 +37,22 @@
 //    counted in stats().tmp_swept.
 //  * Bounded (opt-in): with a byte cap, opening the store evicts whole
 //    objects oldest-access-first until the objects/ total fits the cap.
-//    Eviction only ever drops cached results — every consumer treats an
-//    absent key as a miss and recomputes. Counted in stats().evicted.
+//    A long-running daemon can additionally opt into a periodic
+//    in-process eviction sweep (`sweep_interval_ms`), so the cap holds
+//    between opens too. Eviction only ever drops cached results — every
+//    consumer treats an absent key as a miss and recomputes. Counted in
+//    stats().evicted.
+//
+// Fault injection: put() and get() carry STX_FAILPOINT sites
+// (store.put.after_tmp_write, store.put.fsync, store.put.before_rename,
+// store.put.after_rename, store.get.read) — see util/failpoint.h.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <filesystem>
 #include <mutex>
+#include <thread>
 
 #include "explore/kv_store.h"
 
@@ -50,8 +64,13 @@ class disk_store final : public kv_store {
   /// stx::invalid_argument_error when the directories cannot be created.
   /// `max_bytes` caps the objects/ payload total: when the existing
   /// contents exceed it, the open evicts oldest-access-first down to the
-  /// cap (0 = unlimited, the default).
-  explicit disk_store(const std::string& dir, std::uint64_t max_bytes = 0);
+  /// cap (0 = unlimited, the default). `sweep_interval_ms` > 0 starts a
+  /// background thread re-running the eviction sweep every interval, so
+  /// a long-running process honors the cap between opens (0 = at open
+  /// only, the default).
+  explicit disk_store(const std::string& dir, std::uint64_t max_bytes = 0,
+                      int sweep_interval_ms = 0);
+  ~disk_store() override;  ///< stops the periodic sweep thread, if any
 
   std::optional<std::string> get(const cache_key& key) override;
   void put(const cache_key& key, std::string_view value) override;
@@ -74,6 +93,14 @@ class disk_store final : public kv_store {
   std::atomic<std::uint64_t> tmp_seq_{0};
   mutable std::mutex mu_;  ///< guards stats_ only; file ops are lock-free
   kv_stats stats_;
+
+  /// Periodic eviction sweep (opt-in). Removal races with concurrent
+  /// get()s are benign: a reader that loses its object mid-read sees a
+  /// plain miss and recomputes.
+  std::mutex sweep_mu_;
+  std::condition_variable sweep_cv_;
+  bool sweep_stop_ = false;
+  std::thread sweep_thread_;
 };
 
 }  // namespace stx::explore

@@ -22,15 +22,19 @@ class kv_store {
  public:
   /// Activity totals since construction. `corrupt` counts entries that
   /// existed but failed integrity checks and were treated as misses;
-  /// `tmp_swept` counts orphaned staging files removed when the store
-  /// opened (crashed writers leave them behind); `evicted` counts
-  /// objects removed by the size-cap sweep at open — all always 0 for
-  /// the memory store.
+  /// `put_failures` counts puts that could not durably publish (write /
+  /// fsync / rename failure — the entry is withheld, never published
+  /// torn); `tmp_swept` counts orphaned staging files removed when the
+  /// store opened (crashed writers leave them behind); `evicted` counts
+  /// objects removed by the size-cap sweep (at open, and periodically
+  /// when a sweep interval is configured) — all always 0 for the memory
+  /// store.
   struct kv_stats {
     std::int64_t hits = 0;
     std::int64_t misses = 0;
     std::int64_t puts = 0;
     std::int64_t corrupt = 0;
+    std::int64_t put_failures = 0;
     std::int64_t tmp_swept = 0;
     std::int64_t evicted = 0;
 

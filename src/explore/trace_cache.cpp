@@ -60,7 +60,16 @@ std::shared_ptr<const T> trace_cache::get(store_t<T>& store,
       }
       if (!value) {
         value = std::make_shared<const T>(simulate());
-        if (backing_) backing_->put(key, enc(*value));
+        if (backing_) {
+          try {
+            backing_->put(key, enc(*value));
+          } catch (const std::exception&) {
+            // A failed write-through (disk full, fsync failure) only
+            // loses persistence — the computed value is still good, so
+            // serve it rather than failing the whole request.
+            obs::add_counter("explore.cache.put_dropped", 1);
+          }
+        }
       }
       {
         std::lock_guard<std::mutex> lock(mu_);

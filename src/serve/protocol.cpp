@@ -119,6 +119,11 @@ void apply_option_fields(const json::value& doc, design_request& req) {
   if (doc.contains("validate")) {
     req.validate = doc.at("validate").as_bool();
   }
+  if (doc.contains("deadline_ms")) {
+    const auto ms = doc.at("deadline_ms").as_int();
+    STX_REQUIRE(ms >= 1, "deadline_ms must be >= 1");
+    req.deadline_ms = ms;
+  }
   if (doc.contains("artifacts")) {
     for (const auto& a : doc.at("artifacts").as_array()) {
       req.artifacts.push_back(a.as_string());
@@ -140,7 +145,7 @@ const std::set<std::string>& known_fields() {
       "solver_node_limit", "solver_time_ms",
       "solver_threads", "solver_cuts",
       "solver_portfolio", "validate",
-      "artifacts",
+      "artifacts",     "deadline_ms",
   };
   return fields;
 }
@@ -187,6 +192,9 @@ std::string serialize(const design_response& resp) {
   o.emplace_back("ok", resp.ok);
   if (!resp.ok) {
     o.emplace_back("error", resp.error);
+    if (resp.retry_after_ms > 0) {
+      o.emplace_back("retry_after_ms", resp.retry_after_ms);
+    }
     return json::dump_compact(json::value(std::move(o)));
   }
   o.emplace_back("app", resp.app_id);
@@ -217,6 +225,9 @@ design_response parse_response(const std::string& line) {
   resp.ok = doc.at("ok").as_bool();
   if (!resp.ok) {
     resp.error = doc.at("error").as_string();
+    if (doc.contains("retry_after_ms")) {
+      resp.retry_after_ms = doc.at("retry_after_ms").as_int();
+    }
     return resp;
   }
   resp.app_id = doc.at("app").as_string();
@@ -247,6 +258,24 @@ std::string serialize_simple(const std::string& id, request_op op,
     const char* key = op == request_op::metrics ? "metrics" : "trace";
     o.emplace_back(key, json::parse(embedded_json));
   }
+  return json::dump_compact(json::value(std::move(o)));
+}
+
+std::string serialize_metrics(const std::string& id,
+                              const std::string& metrics_json,
+                              const live_gauges& live) {
+  json::object o;
+  if (!id.empty()) o.emplace_back("id", id);
+  o.emplace_back("ok", true);
+  o.emplace_back("op", to_string(request_op::metrics));
+  o.emplace_back("metrics", json::parse(metrics_json));
+  o.emplace_back("live",
+                 json::object{
+                     {"admission_queue_depth", live.admission_queue_depth},
+                     {"in_flight", live.in_flight},
+                     {"connections", live.connections},
+                     {"idle_connections", live.idle_connections},
+                 });
   return json::dump_compact(json::value(std::move(o)));
 }
 

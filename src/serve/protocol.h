@@ -49,6 +49,10 @@ struct design_request {
   xbar::flow_options opts;
   bool validate = true;       ///< run phase 4 (full reference + designed)
   std::vector<std::string> artifacts;  ///< gen backend names to render
+  /// Per-request deadline in milliseconds since admission (0 = none). A
+  /// request still queued when its deadline passes is answered with a
+  /// "deadline exceeded" error instead of being executed late.
+  std::int64_t deadline_ms = 0;
 };
 
 struct request {
@@ -67,6 +71,10 @@ struct design_response {
   std::string id;
   bool ok = false;
   std::string error;       ///< set when !ok
+  /// On a load-shedding rejection ("admission queue full"), how long the
+  /// client should back off before retrying; 0 = no hint. The
+  /// request_lines retry helper honors it.
+  std::int64_t retry_after_ms = 0;
   std::string app_id;      ///< canonical cache identity of the application
   /// Where the report came from: "computed" (flow ran) or "store"
   /// (served from the content-addressed store without simulation).
@@ -90,6 +98,23 @@ design_response parse_response(const std::string& line);
 /// metrics/trace.
 std::string serialize_simple(const std::string& id, request_op op,
                              const std::string& embedded_json = "");
+
+/// Instantaneous saturation gauges the "metrics" op reports next to the
+/// cumulative stx-metrics/v1 snapshot, under a top-level "live" object —
+/// operators watch these to see saturation building before the admission
+/// queue starts shedding.
+struct live_gauges {
+  std::int64_t admission_queue_depth = 0;  ///< requests queued, not running
+  std::int64_t in_flight = 0;      ///< admitted and not yet completed
+  std::int64_t connections = 0;    ///< open client connections
+  std::int64_t idle_connections = 0;  ///< connections waiting in read
+};
+
+/// The metrics-op response line: {"id",...,"ok":true,"op":"metrics",
+/// "metrics":{...stx-metrics/v1...},"live":{...}}.
+std::string serialize_metrics(const std::string& id,
+                              const std::string& metrics_json,
+                              const live_gauges& live);
 
 /// One-line error response for any op.
 std::string serialize_error(const std::string& id, const std::string& error);

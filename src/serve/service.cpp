@@ -1,5 +1,6 @@
 #include "serve/service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -8,6 +9,7 @@
 #include "obs/obs.h"
 #include "testkit/scenario.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 #include "workloads/mpsoc_apps.h"
 
 namespace stx::serve {
@@ -41,7 +43,13 @@ cached_design_result cached_design(const workloads::app_spec& app,
     xbar::validate_design(app, opts, *full, result.report);
   }
   if (store != nullptr) {
-    store->put(key, explore::encode_report(result.report));
+    try {
+      store->put(key, explore::encode_report(result.report));
+    } catch (const std::exception&) {
+      // A failed write-through only loses the warm hit for next time;
+      // the computed report is still the answer.
+      obs::add_counter("serve.report.put_dropped", 1);
+    }
   }
   return result;
 }
@@ -71,8 +79,8 @@ service::service(const options& opts) : opts_(opts) {
   if (opts_.cache_dir.empty()) {
     store_ = std::make_shared<explore::memory_store>();
   } else {
-    store_ = std::make_shared<explore::disk_store>(opts_.cache_dir,
-                                                   opts_.cache_max_bytes);
+    store_ = std::make_shared<explore::disk_store>(
+        opts_.cache_dir, opts_.cache_max_bytes, opts_.cache_sweep_ms);
   }
   cache_ = std::make_unique<explore::trace_cache>(store_);
   workers_.reserve(static_cast<std::size_t>(opts_.workers));
@@ -93,11 +101,13 @@ service::~service() {
 std::shared_future<design_response> service::submit(
     const design_request& req) {
   obs::add_counter("serve.requests", 1);
-  const auto ready_error = [&](const std::string& what) {
+  const auto ready_error = [&](const std::string& what,
+                               std::int64_t retry_after_ms = 0) {
     design_response resp;
     resp.id = req.id;
     resp.ok = false;
     resp.error = what;
+    resp.retry_after_ms = retry_after_ms;
     std::promise<design_response> p;
     p.set_value(std::move(resp));
     return p.get_future().share();
@@ -105,9 +115,12 @@ std::shared_future<design_response> service::submit(
 
   // The canonical report key (plus the artifact selection, which alters
   // the response) is the dedup identity: two spellings of one request
-  // coalesce, two requests differing in any option do not.
+  // coalesce, two requests differing in any option do not. The deadline
+  // is deliberately NOT part of the identity — it shapes when a request
+  // may be answered, not what the answer is.
   std::string dedup_key;
   try {
+    STX_FAILPOINT("serve.admission");
     const auto [app, app_id] = resolve_app(req);
     (void)app;
     dedup_key = explore::encode(
@@ -124,6 +137,7 @@ std::shared_future<design_response> service::submit(
   job j;
   j.req = req;
   j.dedup_key = dedup_key;
+  j.admitted = std::chrono::steady_clock::now();
   std::shared_future<design_response> future;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -137,12 +151,22 @@ std::shared_future<design_response> service::submit(
     if (queue_.size() >= static_cast<std::size_t>(opts_.queue_depth)) {
       ++stats_.rejected;
       obs::add_counter("serve.rejected", 1);
+      // Back-off hint: proportional to how much work each worker has
+      // queued ahead (deterministic in the configuration, so the client
+      // jitter is the only randomness in the retry schedule).
+      const auto hint = std::clamp<std::int64_t>(
+          50 * (opts_.queue_depth / opts_.workers + 1), 50, 5000);
       return ready_error("admission queue full (" +
-                         std::to_string(opts_.queue_depth) + " pending)");
+                             std::to_string(opts_.queue_depth) + " pending)",
+                         hint);
     }
     future = j.promise.get_future().share();
     in_flight_.emplace(dedup_key, future);
     queue_.push_back(std::move(j));
+    obs::gauge_max("serve.queue_depth_max",
+                   static_cast<std::int64_t>(queue_.size()));
+    obs::gauge_max("serve.in_flight_max",
+                   static_cast<std::int64_t>(in_flight_.size()));
   }
   cv_.notify_one();
   return future;
@@ -155,6 +179,7 @@ design_response service::handle(const design_request& req) {
   design_response resp;
   resp.id = req.id;
   try {
+    STX_FAILPOINT("serve.worker.execute");
     const auto [app, app_id] = resolve_app(req);
     resp.app_id = app_id;
     auto result =
@@ -189,6 +214,34 @@ void service::worker_loop() {
       j = std::move(queue_.front());
       queue_.erase(queue_.begin());
     }
+    // Deadline enforcement happens worker-side, at dequeue: a request
+    // that already waited past its deadline is answered with an error
+    // instead of burning a worker on a result nobody is waiting for.
+    if (j.req.deadline_ms > 0) {
+      const auto waited_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - j.admitted)
+              .count();
+      if (waited_ms > j.req.deadline_ms) {
+        design_response resp;
+        resp.id = j.req.id;
+        resp.ok = false;
+        resp.error = "deadline exceeded (" + std::to_string(waited_ms) +
+                     "ms queued > " + std::to_string(j.req.deadline_ms) +
+                     "ms deadline)";
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.completed;
+          ++stats_.errors;
+          ++stats_.deadline_exceeded;
+          in_flight_.erase(j.dedup_key);
+        }
+        obs::add_counter("serve.errors", 1);
+        obs::add_counter("serve.deadline_exceeded", 1);
+        j.promise.set_value(std::move(resp));
+        continue;
+      }
+    }
     auto resp = handle(j.req);
     const bool ok = resp.ok;
     const bool from_store = resp.source == "store";
@@ -207,6 +260,14 @@ void service::worker_loop() {
 service::stats_t service::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+service::live_t service::live() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_t l;
+  l.queue_depth = static_cast<std::int64_t>(queue_.size());
+  l.in_flight = static_cast<std::int64_t>(in_flight_.size());
+  return l;
 }
 
 }  // namespace stx::serve

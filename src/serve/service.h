@@ -6,6 +6,7 @@
 // class; xbargen's --cache-dir path shares cached_design().
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -62,6 +63,10 @@ class service {
     /// Store size cap enforced at open (0 = unlimited): oldest-accessed
     /// objects are evicted until the directory fits.
     std::uint64_t cache_max_bytes = 0;
+    /// Re-run the eviction sweep every this many milliseconds so a
+    /// long-running daemon honors cache_max_bytes between opens
+    /// (0 = at open only). Ignored without a cache_dir / byte cap.
+    int cache_sweep_ms = 0;
   };
 
   struct stats_t {
@@ -71,6 +76,15 @@ class service {
     std::int64_t coalesced = 0;  ///< deduped onto an in-flight twin
     std::int64_t rejected = 0;   ///< bounced by the admission bound
     std::int64_t store_hits = 0; ///< whole-report store hits
+    std::int64_t deadline_exceeded = 0;  ///< expired while queued
+  };
+
+  /// Instantaneous saturation view (for the metrics op's live gauges):
+  /// requests queued behind the workers, and requests admitted but not
+  /// yet completed (queued + executing).
+  struct live_t {
+    std::int64_t queue_depth = 0;
+    std::int64_t in_flight = 0;
   };
 
   explicit service(const options& opts);
@@ -82,7 +96,8 @@ class service {
   /// Submits one design request. Identical in-flight requests (same
   /// canonical report key and artifact list) share one execution and one
   /// future. A request past the admission bound resolves immediately
-  /// with an error response; a malformed application identity likewise.
+  /// with an error response carrying a retry_after_ms backoff hint; a
+  /// malformed application identity likewise (without the hint).
   /// Never throws and never blocks on flow work.
   std::shared_future<design_response> submit(const design_request& req);
 
@@ -90,6 +105,7 @@ class service {
   design_response handle(const design_request& req);
 
   stats_t stats() const;
+  live_t live() const;
   explore::kv_store& store() { return *store_; }
   explore::trace_cache& cache() { return *cache_; }
 
@@ -98,6 +114,8 @@ class service {
     design_request req;
     std::string dedup_key;
     std::promise<design_response> promise;
+    /// Admission time; the worker enforces req.deadline_ms against it.
+    std::chrono::steady_clock::time_point admitted;
   };
 
   void worker_loop();

@@ -1,0 +1,171 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace stx::failpoint {
+
+namespace detail {
+std::atomic<int> armed_count{0};
+}
+
+namespace {
+
+struct entry {
+  action act;
+  bool armed = false;
+  std::int64_t hits = 0;  ///< kept across disarm for post-mortem asserts
+};
+
+struct registry_t {
+  std::mutex mu;
+  std::map<std::string, entry, std::less<>> entries;
+};
+
+registry_t& registry() {
+  static registry_t r;
+  return r;
+}
+
+action parse_spec(const std::string& name, const std::string& spec) {
+  action a;
+  if (spec == "error") {
+    a.kind = action_kind::error;
+  } else if (spec == "torn-write") {
+    a.kind = action_kind::torn_write;
+  } else if (spec == "crash") {
+    a.kind = action_kind::crash;
+  } else if (spec.rfind("delay(", 0) == 0 && spec.back() == ')') {
+    a.kind = action_kind::delay;
+    const auto ms = spec.substr(6, spec.size() - 7);
+    try {
+      std::size_t used = 0;
+      a.delay_ms = std::stoi(ms, &used);
+      STX_REQUIRE(used == ms.size() && a.delay_ms >= 0,
+                  "failpoint '" + name + "': bad delay '" + ms + "'");
+    } catch (const invalid_argument_error&) {
+      throw;
+    } catch (...) {
+      throw invalid_argument_error("failpoint '" + name + "': bad delay '" +
+                                   ms + "'");
+    }
+  } else {
+    throw invalid_argument_error(
+        "failpoint '" + name + "': unknown action '" + spec +
+        "' (error | delay(MS) | torn-write | crash)");
+  }
+  return a;
+}
+
+/// STX_FAILPOINTS is parsed once, before main touches any failpoint. A
+/// malformed value is reported and ignored rather than terminating the
+/// host process from a static initializer.
+const bool env_loaded = [] {
+  const char* spec = std::getenv("STX_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return true;
+  try {
+    arm_from_spec(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stx: ignoring invalid STX_FAILPOINTS: %s\n",
+                 e.what());
+  }
+  return true;
+}();
+
+}  // namespace
+
+void arm(const std::string& name, const std::string& spec) {
+  STX_REQUIRE(!name.empty(), "failpoint: empty name");
+  const auto act = parse_spec(name, spec);
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto& e = reg.entries[name];
+  if (!e.armed) {
+    detail::armed_count.fetch_add(1, std::memory_order_relaxed);
+    e.hits = 0;  // fresh arming restarts the hit count
+  }
+  e.armed = true;
+  e.act = act;
+}
+
+void disarm(const std::string& name) {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.entries.find(name);
+  if (it == reg.entries.end() || !it->second.armed) return;
+  it->second.armed = false;
+  detail::armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, e] : reg.entries) {
+    if (e.armed) {
+      e.armed = false;
+      detail::armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void arm_from_spec(const std::string& spec_list) {
+  for (const auto& item : split_list(spec_list, ';')) {
+    for (const auto& part : split_list(item, ',')) {
+      if (part.empty()) continue;
+      const auto eq = part.find('=');
+      STX_REQUIRE(eq != std::string::npos && eq > 0,
+                  "failpoint spec entry '" + part + "' is not name=action");
+      arm(part.substr(0, eq), part.substr(eq + 1));
+    }
+  }
+}
+
+std::int64_t hits(const std::string& name) {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.entries.find(name);
+  return it == reg.entries.end() ? 0 : it->second.hits;
+}
+
+action eval_action(std::string_view name) {
+  action act;
+  {
+    auto& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    const auto it = reg.entries.find(name);
+    if (it == reg.entries.end() || !it->second.armed) return {};
+    ++it->second.hits;
+    act = it->second.act;
+  }
+  switch (act.kind) {
+    case action_kind::delay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(act.delay_ms));
+      return {};
+    case action_kind::crash:
+      // kill -9 / power-loss stand-in: no destructors, no atexit, no
+      // stdio flush. The distinctive exit code lets recovery tests tell
+      // an injected crash from a genuine child failure.
+      std::_Exit(crash_exit_code);
+    case action_kind::none:
+    case action_kind::error:
+    case action_kind::torn_write:
+      return act;
+  }
+  return act;
+}
+
+void eval(std::string_view name) {
+  const auto act = eval_action(name);
+  if (act.kind == action_kind::error) {
+    throw error("failpoint '" + std::string(name) + "' injected error");
+  }
+}
+
+}  // namespace stx::failpoint

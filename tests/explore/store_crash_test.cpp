@@ -1,0 +1,180 @@
+// Crash-recovery matrix for the persistent store: a writer killed at
+// every failpoint inside put() (torn staged bytes, crash before the
+// rename, crash after the rename) must leave a directory that a fresh
+// disk_store heals on reopen — torn staging files are swept, a torn or
+// absent object is a plain miss, and a complete object is served byte
+// for byte. The "crash" action is std::_Exit (no destructors, no stdio
+// flush): the closest portable stand-in for kill -9 / power loss.
+//
+// The matrix forks one child per scenario: the child arms the failpoint
+// programmatically and runs put(); the parent reaps it, asserts the
+// injected exit code, then reopens the same directory and checks the
+// recovery contract.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "explore/disk_store.h"
+#include "util/error.h"
+#include "util/failpoint.h"
+
+namespace stx::explore {
+namespace {
+
+namespace fs = std::filesystem;
+
+cache_key key_for(const std::string& app) {
+  return trace_key(app, xbar::flow_options{});
+}
+
+fs::path fresh_dir(const std::string& name) {
+  const auto dir = fs::temp_directory_path() / ("stx-crash-" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::size_t count_files(const fs::path& dir) {
+  std::size_t n = 0;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    ++n;
+  }
+  return n;
+}
+
+/// Forks a child that arms `failpoints` (STX_FAILPOINTS grammar) and
+/// put()s `value` under `key` in a store rooted at `dir`, expecting to
+/// die at an armed crash site. Returns the child's exit status.
+int crash_writer(const fs::path& dir, const std::string& failpoints,
+                 const cache_key& key, const std::string& value) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Child. gtest machinery is off-limits from here: _Exit(0) on the
+    // unexpected paths so a bug reads as a wrong exit status, not a
+    // duplicated test-suite run.
+    try {
+      failpoint::arm_from_spec(failpoints);
+      disk_store store(dir.string());
+      store.put(key, value);
+    } catch (...) {
+      std::_Exit(43);  // put threw instead of crashing
+    }
+    std::_Exit(0);  // put survived a site that was meant to crash
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return status;
+}
+
+TEST(StoreCrash, CrashBeforeRenameLeavesNoObjectAndSweepsTmp) {
+  const auto dir = fresh_dir("before-rename");
+  const auto key = key_for("mat2");
+  const int status =
+      crash_writer(dir, "store.put.before_rename=crash", key, "payload");
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), failpoint::crash_exit_code);
+  // The staged file is orphaned (writer dead, rename never happened)…
+  EXPECT_EQ(count_files(dir / "tmp"), 1u);
+  EXPECT_EQ(count_files(dir / "objects"), 0u);
+  // …and reopening the directory sweeps it and serves a clean miss.
+  disk_store store(dir.string());
+  EXPECT_EQ(store.stats().tmp_swept, 1);
+  EXPECT_EQ(count_files(dir / "tmp"), 0u);
+  EXPECT_EQ(store.get(key), std::nullopt);
+  // The next put heals the entry completely.
+  store.put(key, "payload");
+  EXPECT_EQ(store.get(key).value(), "payload");
+}
+
+TEST(StoreCrash, TornWriteThenCrashNeverServesTornBlob) {
+  const auto dir = fresh_dir("torn");
+  const auto key = key_for("fft");
+  const std::string value(4096, 'x');
+  // Torn staged bytes AND the writer dies before the rename: recovery
+  // must sweep the torn staging file, not publish it.
+  const int status = crash_writer(
+      dir,
+      "store.put.after_tmp_write=torn-write;store.put.before_rename=crash",
+      key, value);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), failpoint::crash_exit_code);
+  disk_store store(dir.string());
+  EXPECT_EQ(store.stats().tmp_swept, 1);
+  EXPECT_EQ(store.get(key), std::nullopt);
+  EXPECT_EQ(store.stats().corrupt, 0);  // nothing published, plain miss
+}
+
+TEST(StoreCrash, TornObjectPublishedByCrashIsCorruptAsMiss) {
+  const auto dir = fresh_dir("torn-published");
+  const auto key = key_for("qsort");
+  const std::string value(4096, 'y');
+  // Torn staged bytes but the put is allowed to rename and die after:
+  // the torn object IS published, and get() must refuse to serve it.
+  const int status = crash_writer(
+      dir,
+      "store.put.after_tmp_write=torn-write;store.put.after_rename=crash",
+      key, value);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), failpoint::crash_exit_code);
+  EXPECT_EQ(count_files(dir / "objects"), 1u);
+  disk_store store(dir.string());
+  EXPECT_EQ(store.get(key), std::nullopt);  // torn blob never served
+  EXPECT_EQ(store.stats().corrupt, 1);
+  // Overwriting heals: the complete object replaces the torn one.
+  store.put(key, value);
+  EXPECT_EQ(store.get(key).value(), value);
+}
+
+TEST(StoreCrash, CrashAfterRenameIsDurable) {
+  const auto dir = fresh_dir("after-rename");
+  const auto key = key_for("lu");
+  const std::string value = "fully published payload";
+  const int status =
+      crash_writer(dir, "store.put.after_rename=crash", key, value);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), failpoint::crash_exit_code);
+  // The object survived the crash whole; a fresh store serves it.
+  disk_store store(dir.string());
+  EXPECT_EQ(store.get(key).value(), value);
+  EXPECT_EQ(store.stats().hits, 1);
+  EXPECT_EQ(store.stats().corrupt, 0);
+}
+
+TEST(StoreCrash, FsyncFailureIsAPutFailureAndWithholdsTheEntry) {
+  const auto dir = fresh_dir("fsync");
+  const auto key = key_for("aes");
+  disk_store store(dir.string());
+  failpoint::arm("store.put.fsync", "error");
+  EXPECT_THROW(store.put(key, "never published"), stx::error);
+  failpoint::disarm_all();
+  EXPECT_EQ(store.stats().put_failures, 1);
+  EXPECT_EQ(count_files(dir / "tmp"), 0u);      // staged file cleaned up
+  EXPECT_EQ(count_files(dir / "objects"), 0u);  // nothing published
+  EXPECT_EQ(store.get(key), std::nullopt);
+  // The store is not poisoned: the next put succeeds normally.
+  store.put(key, "published");
+  EXPECT_EQ(store.get(key).value(), "published");
+  EXPECT_EQ(store.stats().puts, 1);
+}
+
+TEST(StoreCrash, InjectedReadErrorIsCorruptAsMiss) {
+  const auto dir = fresh_dir("read-error");
+  const auto key = key_for("sha");
+  disk_store store(dir.string());
+  store.put(key, "bytes");
+  failpoint::arm("store.get.read", "error");
+  EXPECT_EQ(store.get(key), std::nullopt);
+  failpoint::disarm_all();
+  EXPECT_EQ(store.stats().corrupt, 1);
+  // The object itself is intact — only the read was injected.
+  EXPECT_EQ(store.get(key).value(), "bytes");
+}
+
+}  // namespace
+}  // namespace stx::explore
